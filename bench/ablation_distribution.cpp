@@ -1,0 +1,70 @@
+// Ablation: the Section IV-B distribution function.
+//
+// The paper requires the function to be fast (1 cycle) and fair, and picks
+// an XOR fold of the low 20 address bits. This bench compares the paper's
+// fold against low-bits and whole-value modulo on (a) static balance of the
+// workloads' address streams and (b) end-to-end makespan, plus the
+// degenerate per-TG load imbalance the paper's Fig. 3(B) worst case warns
+// about (gaussian: every wave's pivot row funnels into one graph).
+#include <cstdio>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/stats.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/hw/distribution.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::harness;
+
+namespace {
+
+BalanceReport stream_balance(const Trace& tr, hw::DistributionPolicy policy,
+                             std::uint32_t tgs) {
+  hw::Distributor d(policy, tgs);
+  std::vector<std::uint64_t> bins(tgs, 0);
+  for (const auto& t : tr.tasks())
+    for (const auto& p : t.params) ++bins[d.target(p.addr)];
+  return balance_report(bins);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {{"quick", "reduced grid"}});
+  const bool quick = flags.get_bool("quick", false);
+  constexpr std::uint32_t kTgs = 6;
+
+  const std::vector<hw::DistributionPolicy> policies{
+      hw::DistributionPolicy::kXorFold, hw::DistributionPolicy::kLowBits,
+      hw::DistributionPolicy::kModulo};
+
+  std::printf("Ablation: distribution function (6 task graphs)\n\n");
+  for (const char* name : {"h264dec-2x2-10f", "gaussian-500"}) {
+    const Trace tr = workloads::make_workload(name);
+    const Tick base = ideal_baseline(tr);
+    TextTable t({"policy", "max/mean load", "cv", "speedup@64c"});
+    for (const auto policy : policies) {
+      const BalanceReport b = stream_balance(tr, policy, kTgs);
+      ManagerSpec spec = ManagerSpec::nexussharp(kTgs, 100.0);
+      spec.sharp.distribution = policy;
+      const double sp =
+          quick ? 0.0
+                : static_cast<double>(base) /
+                      static_cast<double>(run_once(tr, spec, 64));
+      t.add_row({to_string(policy), TextTable::num(b.max_over_mean, 2),
+                 TextTable::num(b.cv, 3),
+                 quick ? "-" : TextTable::num(sp, 2)});
+    }
+    std::printf("-- %s --\n", name);
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("Reading: the XOR fold keeps per-graph load near-uniform on real\n"
+              "address streams at 1-cycle cost; low-bits degenerates on strided\n"
+              "layouts. Gaussian is the paper's declared worst case regardless\n"
+              "of policy (serial pivot-row waves, Fig. 3(B)).\n");
+  return 0;
+}

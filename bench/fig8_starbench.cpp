@@ -1,0 +1,70 @@
+// Reproduces Figure 8: speedups of the Starbench benchmarks (a) and the
+// h264dec granularities (b) under four task managers: the no-overhead
+// bound, Nanos (software RTS model, up to 32 cores — the paper's test
+// machine), Nexus++ (100 MHz) and Nexus# (6 TGs at 55.56 MHz).
+//
+// Flags: --quick       cores {1,8,32,256}; skips streamcluster
+//        --bench NAME  run a single benchmark
+//        --csv         also emit CSV rows
+//        --host-cost-us X  sensitivity: per-message host interface cost for
+//                          the hardware managers (see DESIGN.md §5)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::harness;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {{"quick", "reduced grid"},
+                     {"bench", "single benchmark name"},
+                     {"csv", "emit csv"},
+                     {"host-cost-us", "per-message host cost in us (hw managers)"}});
+  const bool quick = flags.get_bool("quick", false);
+  const bool csv = flags.get_bool("csv", false);
+  const double host_cost_us = flags.get_double("host-cost-us", 0.0);
+
+  std::vector<std::string> benches{"c-ray",           "rot-cc",
+                                   "sparselu",        "streamcluster",
+                                   "h264dec-1x1-10f", "h264dec-2x2-10f",
+                                   "h264dec-4x4-10f", "h264dec-8x8-10f"};
+  if (flags.has("bench")) {
+    benches = {flags.get("bench", "")};
+  } else if (quick) {
+    benches = {"c-ray", "rot-cc", "sparselu", "h264dec-1x1-10f", "h264dec-8x8-10f"};
+  }
+  const std::vector<std::uint32_t> cores =
+      quick ? std::vector<std::uint32_t>{1, 8, 32, 256} : paper_cores_256();
+  std::vector<std::uint32_t> nanos_cores;
+  for (const std::uint32_t c : cores)
+    if (c <= 32) nanos_cores.push_back(c);
+
+  RuntimeConfig hw_rc;
+  hw_rc.host_message_cost = us(host_cost_us);
+
+  for (const auto& name : benches) {
+    const Trace tr = workloads::make_workload(name);
+    const Tick base = ideal_baseline(tr);
+    std::fprintf(stderr, "[fig8] %s: %zu tasks, baseline %.1f ms\n", name.c_str(),
+                 tr.num_tasks(), to_ms(base));
+
+    std::vector<Series> series;
+    series.push_back(sweep(tr, ManagerSpec::ideal(), cores, base));
+    series.back().label = "no-overhead";
+    series.push_back(sweep(tr, ManagerSpec::nanos_default(), nanos_cores, base));
+    series.push_back(sweep(tr, ManagerSpec::nexuspp_default(), cores, base, hw_rc));
+    series.push_back(sweep(tr, ManagerSpec::nexussharp(6), cores, base, hw_rc));
+
+    print_series("Fig. 8: " + name, cores, series, csv);
+    std::printf("max speedups: ");
+    for (const auto& s : series)
+      std::printf("%s=%.1f  ", s.label.c_str(), s.max_speedup());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 9: Gaussian elimination with partial pivoting for
+// matrices of 250..3000, on up to 64 cores (2 GFLOPS each), under Nexus++,
+// Nexus# 1 TG and Nexus# 2 TGs — all at 100 MHz, as in the paper. The
+// baseline is the single-core execution time under Nexus++ (Section VI).
+//
+// The benchmark is the worst case for the distribution function (every wave
+// funnels into the pivot row's task graph) and validates the dummy-entry
+// mechanism: up to n-1 tasks wait on a single address.
+//
+// Flags: --quick     sizes {250,1000}, cores {1,8,64}
+//        --max-n     largest matrix size to run (default 3000)
+//        --csv       emit CSV rows
+#include <cstdio>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::harness;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {{"quick", "reduced grid"},
+                     {"max-n", "largest matrix size"},
+                     {"csv", "emit csv"}});
+  const bool quick = flags.get_bool("quick", false);
+  const bool csv = flags.get_bool("csv", false);
+  const auto max_n = flags.get_int("max-n", 3000);
+
+  std::vector<int> sizes{250, 500, 1000, 3000};
+  if (quick) sizes = {250, 1000};
+  const std::vector<std::uint32_t> cores =
+      quick ? std::vector<std::uint32_t>{1, 8, 64} : paper_cores_64();
+
+  for (const int n : sizes) {
+    if (n > max_n) continue;
+    const Trace tr = workloads::make_gaussian({.n = n});
+    std::fprintf(stderr, "[fig9] gaussian-%d: %zu tasks\n", n, tr.num_tasks());
+
+    // Paper baseline: "the single-core execution time using Nexus++".
+    const ManagerSpec npp = ManagerSpec::nexuspp_default();
+    const Tick base = run_once(tr, npp, 1);
+
+    std::vector<Series> series;
+    series.push_back(sweep(tr, npp, cores, base));
+    series.push_back(sweep(tr, ManagerSpec::nexussharp(1, 100.0), cores, base));
+    series.back().label = "nexus#-1TG@100MHz";
+    series.push_back(sweep(tr, ManagerSpec::nexussharp(2, 100.0), cores, base));
+    series.back().label = "nexus#-2TG@100MHz";
+
+    char title[64];
+    std::snprintf(title, sizeof title, "Fig. 9: gaussian elimination, matrix %d", n);
+    print_series(title, cores, series, csv);
+  }
+  std::printf("\nPaper's reading: Nexus# (2TG) improves ~19%% over Nexus++ on the\n"
+              "finest tasks (matrix-250) and ~10%% as matrices grow; more TGs do\n"
+              "not help because each wave's pivot row maps to one graph.\n");
+  return 0;
+}

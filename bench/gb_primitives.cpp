@@ -1,0 +1,126 @@
+// google-benchmark micro-benchmarks of the simulator's hot primitives: the
+// XOR-fold hash, the set-associative task-graph table, the dependency
+// tracker, the event queue and the bounded FIFOs. These bound the wall-time
+// cost of the whole-trace simulations (millions of events per figure).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "nexus/common/fixed_ring.hpp"
+#include "nexus/common/rng.hpp"
+#include "nexus/depgraph/dependency_tracker.hpp"
+#include "nexus/hw/distribution.hpp"
+#include "nexus/hw/task_graph_table.hpp"
+#include "nexus/sim/simulation.hpp"
+
+namespace nexus {
+namespace {
+
+void BM_XorFold(benchmark::State& state) {
+  std::uint64_t a = 0x12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xor_fold20_5(a));
+    a += 0x40;
+  }
+}
+BENCHMARK(BM_XorFold);
+
+void BM_DistributorTarget(benchmark::State& state) {
+  hw::Distributor d(hw::DistributionPolicy::kXorFold,
+                    static_cast<std::uint32_t>(state.range(0)));
+  Addr a = 0x1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.target(a));
+    a += 0x40;
+  }
+}
+BENCHMARK(BM_DistributorTarget)->Arg(2)->Arg(6)->Arg(8);
+
+void BM_TableInsertFinish(benchmark::State& state) {
+  hw::TaskGraphTable table{hw::TableConfig{}};
+  std::vector<hw::Waiter> kicked;
+  TaskId id = 0;
+  for (auto _ : state) {
+    const Addr a = 0x1000 + (static_cast<Addr>(id) % 512) * 0x40;
+    (void)table.insert(a, id, true);
+    kicked.clear();
+    (void)table.finish(a, id, &kicked);
+    ++id;
+  }
+}
+BENCHMARK(BM_TableInsertFinish);
+
+void BM_TableChainedFanout(benchmark::State& state) {
+  // One writer + N queued readers, then a kick of the whole group.
+  const auto n = static_cast<TaskId>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    hw::TaskGraphTable table{hw::TableConfig{}};
+    state.ResumeTiming();
+    (void)table.insert(0x1000, 0, true);
+    for (TaskId i = 1; i <= n; ++i) (void)table.insert(0x1000, i, false);
+    std::vector<hw::Waiter> kicked;
+    (void)table.finish(0x1000, 0, &kicked);
+    benchmark::DoNotOptimize(kicked.size());
+  }
+}
+BENCHMARK(BM_TableChainedFanout)->Arg(8)->Arg(64)->Arg(249);
+
+void BM_TrackerSubmitFinish(benchmark::State& state) {
+  DependencyTracker dt;
+  std::vector<TaskId> ready;
+  TaskId id = 0;
+  for (auto _ : state) {
+    TaskDescriptor t;
+    t.id = id;
+    t.duration = us(1);
+    t.params.push_back({0x1000 + (static_cast<Addr>(id) % 1024) * 0x40, Dir::kOut});
+    (void)dt.submit(t);
+    ready.clear();
+    dt.finish(id, &ready);
+    ++id;
+  }
+}
+BENCHMARK(BM_TrackerSubmitFinish);
+
+class NullComponent final : public Component {
+ public:
+  void handle(Simulation&, const Event&) override {}
+};
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto batch = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    NullComponent c;
+    const auto id = sim.add_component(&c);
+    for (std::uint64_t i = 0; i < batch; ++i)
+      sim.schedule(static_cast<Tick>((i * 7919) % 100000), id, 0);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_FixedRingPushPop(benchmark::State& state) {
+  FixedRing<std::uint64_t> ring(64);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    ring.push(v++);
+    benchmark::DoNotOptimize(ring.pop());
+  }
+}
+BENCHMARK(BM_FixedRingPushPop);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+}  // namespace nexus
+
+BENCHMARK_MAIN();

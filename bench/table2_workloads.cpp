@@ -1,0 +1,59 @@
+// Reproduces Table II: per-benchmark task counts, total work, average task
+// size and parameter ranges, from the synthetic trace generators, printed
+// next to the paper's values.
+#include <cstdio>
+#include <string>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/task/trace_stats.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::workloads;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  std::uint64_t tasks;
+  double total_ms;
+  double avg_us;
+  const char* deps;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"c-ray", 1200, 7381, 6151, "1"},
+    {"rot-cc", 16262, 8150, 501, "1"},
+    {"sparselu", 54814, 38128, 696, "1-3"},
+    {"streamcluster", 652776, 237908, 364, "1-3"},
+    {"h264dec-1x1-10f", 139961, 640, 4.6, "2-6"},
+    {"h264dec-2x2-10f", 35921, 550, 15.3, "2-6"},
+    {"h264dec-4x4-10f", 9333, 519, 55.6, "2-6"},
+    {"h264dec-8x8-10f", 2686, 510, 189.9, "2-6"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)Flags(argc, argv, {});
+  std::printf("Table II: benchmark durations (traces regenerated synthetically; "
+              "see DESIGN.md)\n\n");
+  TextTable t({"benchmark", "# tasks", "paper", "total work (ms)", "paper",
+               "avg task (us)", "paper", "# deps", "paper"});
+  for (const auto& row : kPaper) {
+    const Trace tr = make_workload(row.name);
+    const TraceStats s = compute_stats(tr);
+    const std::string deps = std::to_string(s.min_params) +
+                             (s.min_params == s.max_params
+                                  ? ""
+                                  : "-" + std::to_string(s.max_params));
+    t.add_row({row.name, TextTable::integer(static_cast<long long>(s.num_tasks)),
+               TextTable::integer(static_cast<long long>(row.tasks)),
+               TextTable::num(s.total_work_ms(), 0), TextTable::num(row.total_ms, 0),
+               TextTable::num(s.avg_task_us(), 1), TextTable::num(row.avg_us, 1),
+               deps, row.deps});
+  }
+  t.print();
+  return 0;
+}

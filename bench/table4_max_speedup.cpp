@@ -1,0 +1,78 @@
+// Reproduces Table IV: maximum achieved speedup per benchmark under Nanos,
+// Nexus++ and Nexus# (6 TGs at 55.56 MHz), printed next to the paper's
+// numbers.
+//
+// By default the sweep uses the core counts where each curve plateaus
+// (Nanos <= 32 cores, the hardware managers up to 256); --full sweeps the
+// complete Fig. 8 axis, which takes several times longer and produces the
+// same maxima.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::harness;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double nanos, npp, sharp;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"c-ray", 31.4, 60.4, 194.0},
+    {"rot-cc", 24.5, 254.0, 254.0},
+    {"sparselu", 24.5, 84.9, 94.4},
+    {"streamcluster", 4.9, 7.9, 39.6},
+    {"h264dec-1x1-10f", 0.7, 2.2, 6.9},
+    {"h264dec-2x2-10f", 1.4, 2.7, 7.7},
+    {"h264dec-4x4-10f", 3.6, 2.7, 6.8},
+    {"h264dec-8x8-10f", 3.9, 2.5, 4.7},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {{"full", "sweep the full Fig. 8 core axis"},
+                                 {"quick", "tiny benchmark subset"}});
+  const bool full = flags.get_bool("full", false);
+  const bool quick = flags.get_bool("quick", false);
+
+  const std::vector<std::uint32_t> hw_cores =
+      full ? paper_cores_256() : std::vector<std::uint32_t>{32, 128, 256};
+  const std::vector<std::uint32_t> sw_cores =
+      full ? nanos_cores_32() : std::vector<std::uint32_t>{8, 16, 32};
+
+  std::printf("Table IV: maximum scalability using the different task graph "
+              "managers\n(measured vs paper)\n\n");
+  TextTable t({"Benchmark", "Nanos", "paper", "Nexus++", "paper", "Nexus#",
+               "paper"});
+  for (const auto& row : kPaper) {
+    if (quick && std::string(row.name) == "streamcluster") continue;
+    const Trace tr = workloads::make_workload(row.name);
+    const Tick base = ideal_baseline(tr);
+    std::fprintf(stderr, "[table4] %s...\n", row.name);
+    const double nanos =
+        sweep(tr, ManagerSpec::nanos_default(), sw_cores, base).max_speedup();
+    const double npp =
+        sweep(tr, ManagerSpec::nexuspp_default(), hw_cores, base).max_speedup();
+    const double sharp =
+        sweep(tr, ManagerSpec::nexussharp(6), hw_cores, base).max_speedup();
+    t.add_row({row.name, TextTable::num(nanos, 1), TextTable::num(row.nanos, 1),
+               TextTable::num(npp, 1), TextTable::num(row.npp, 1),
+               TextTable::num(sharp, 1), TextTable::num(row.sharp, 1)});
+  }
+  t.print();
+  std::printf(
+      "\nKnown deviation: the paper's Nexus++ column behaves as if it includes\n"
+      "host-integration overheads (c-ray: 1200 independent 6 ms tasks reach\n"
+      "only 60.4x); our pure-hardware Nexus++ tracks the ideal curve there.\n"
+      "Run fig8_starbench --host-cost-us 30 for the sensitivity study.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Design-space exploration: how many task graphs should a deployment buy?
+//
+//   $ ./build/examples/design_space [--workload NAME] [--cores N]
+//
+// Combines the FPGA cost model (Table I: area grows, frequency drops as
+// graphs are added) with the performance simulation to find the
+// configuration the paper lands on: 6 task graphs, clocked at 55.56 MHz,
+// is the best area/performance point for fine-grained workloads — and the
+// bench shows why 8 is not better (clock loss eats the parallelism gain).
+#include <cstdio>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/cost/fpga_model.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {{"workload", "trace to optimize for (default h264dec-2x2-10f)"},
+                     {"cores", "worker cores (default 64)"}});
+  const std::string name = flags.get("workload", "h264dec-2x2-10f");
+  const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
+  if (!workloads::is_workload(name)) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 2;
+  }
+
+  const Trace trace = workloads::make_workload(name);
+  const Tick baseline = harness::ideal_baseline(trace);
+  const double ideal =
+      static_cast<double>(baseline) /
+      static_cast<double>(harness::run_once(trace, harness::ManagerSpec::ideal(), cores));
+
+  std::printf("design space for %s on %u cores (no-overhead bound: %.2fx)\n\n",
+              name.c_str(), cores, ideal);
+  TextTable t({"TGs", "test MHz", "LUTs", "BRAMs", "speedup", "speedup/LUT%"});
+  double best = 0.0;
+  std::uint32_t best_tgs = 1;
+  for (const std::uint32_t tgs : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    const cost::UtilizationRow row = cost::nexussharp_row(tgs);
+    const Tick makespan =
+        harness::run_once(trace, harness::ManagerSpec::nexussharp(tgs), cores);
+    const double speedup =
+        static_cast<double>(baseline) / static_cast<double>(makespan);
+    if (speedup > best) {
+      best = speedup;
+      best_tgs = tgs;
+    }
+    t.add_row({std::to_string(tgs), TextTable::num(row.test_mhz, 2),
+               TextTable::num(row.luts_pct, 0) + "%",
+               TextTable::num(row.bram_pct, 0) + "%", TextTable::num(speedup, 2),
+               TextTable::num(speedup / row.luts_pct, 3)});
+  }
+  t.print();
+  std::printf("\nbest configuration here: %u task graph(s) at %.2f MHz "
+              "(the paper selects 6)\n",
+              best_tgs, cost::nexussharp_row(best_tgs).test_mhz);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Gaussian elimination with partial pivoting (Fig. 6): the stress case for
+// the kick-off lists. Each wave's pivot row is read by every remaining row,
+// so a single table entry must absorb hundreds of waiters — the "dummy
+// tasks/entries" chaining mechanism.
+//
+//   $ ./build/examples/gaussian_elimination [--n N] [--cores N]
+//
+// Prints the fan-out profile, the chaining the hardware performs, and the
+// resulting speedups for Nexus++ vs Nexus# (1 and 2 task graphs).
+#include <cstdio>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/hw/task_graph_table.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {{"n", "matrix dimension (default 500)"},
+                                 {"cores", "worker cores (default 64)"}});
+  const int n = static_cast<int>(flags.get_int("n", 500));
+  const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 64));
+
+  const Trace trace = workloads::make_gaussian({.n = n});
+  std::printf("gaussian-%d: %zu tasks ((n-1)(n+2)/2), first wave fans out to "
+              "%d waiters on one row\n",
+              n, trace.num_tasks(), n - 1);
+
+  // Show the chaining directly on a task-graph table: one pivot row,
+  // n-1 queued readers.
+  {
+    hw::TaskGraphTable table{hw::TableConfig{}};
+    (void)table.insert(0x1000, 0, true);
+    std::uint32_t max_hops = 0;
+    for (TaskId id = 1; id < static_cast<TaskId>(n); ++id) {
+      const auto r = table.insert(0x1000, id, false);
+      if (r.kind != hw::TaskGraphTable::InsertKind::kQueued) break;
+      max_hops = std::max(max_hops, r.chain_hops);
+    }
+    std::printf("kick-off list of the pivot row: %u physical entries "
+                "(1 head + %u dummy/extension), deepest insert walks %u hops\n",
+                table.entries_in_use(), table.entries_in_use() - 1, max_hops);
+  }
+
+  // The paper's Fig. 9 comparison, at this size.
+  const harness::ManagerSpec npp = harness::ManagerSpec::nexuspp_default();
+  const Tick base = harness::run_once(trace, npp, 1);
+  struct Entry {
+    const char* label;
+    harness::ManagerSpec spec;
+  };
+  const Entry entries[] = {
+      {"nexus++ @100MHz", npp},
+      {"nexus# 1 TG @100MHz", harness::ManagerSpec::nexussharp(1, 100.0)},
+      {"nexus# 2 TG @100MHz", harness::ManagerSpec::nexussharp(2, 100.0)},
+  };
+  std::printf("\n%-22s speedup on %u cores (baseline: 1-core Nexus++)\n",
+              "manager", cores);
+  for (const auto& e : entries) {
+    const Tick makespan = harness::run_once(trace, e.spec, cores);
+    std::printf("%-22s %6.2fx\n", e.label,
+                static_cast<double>(base) / static_cast<double>(makespan));
+  }
+  std::printf("\nEvery wave funnels through one pivot-row entry, so extra task\n"
+              "graphs help only marginally (the paper evaluates 2 TGs here) —\n"
+              "but the unbounded waiter counts run correctly and efficiently.\n");
+  return 0;
+}

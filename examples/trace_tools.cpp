@@ -1,0 +1,72 @@
+// Trace tooling: generate any built-in workload trace, write it to the
+// text format, read it back, and print its statistics — the round trip an
+// external consumer of the trace format would perform.
+//
+//   $ ./build/examples/trace_tools --workload c-ray --out /tmp/cray.trace
+//   $ ./build/examples/trace_tools --in /tmp/cray.trace
+#include <cstdio>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/task/trace_io.hpp"
+#include "nexus/task/trace_stats.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+
+namespace {
+
+void print_stats(const Trace& tr) {
+  const TraceStats s = compute_stats(tr);
+  TextTable t({"metric", "value"});
+  t.add_row({"name", tr.name()});
+  t.add_row({"tasks", TextTable::integer(static_cast<long long>(s.num_tasks))});
+  t.add_row({"total work (ms)", TextTable::num(s.total_work_ms(), 2)});
+  t.add_row({"avg task (us)", TextTable::num(s.avg_task_us(), 2)});
+  t.add_row({"params", std::to_string(s.min_params) + "-" + std::to_string(s.max_params)});
+  t.add_row({"distinct addresses",
+             TextTable::integer(static_cast<long long>(s.distinct_addresses))});
+  t.add_row({"taskwait", TextTable::integer(static_cast<long long>(s.num_taskwaits))});
+  t.add_row({"taskwait_on",
+             TextTable::integer(static_cast<long long>(s.num_taskwait_ons))});
+  t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {{"workload", "built-in workload to generate"},
+                                 {"out", "write the trace to this file"},
+                                 {"in", "read a trace from this file"},
+                                 {"list", "list built-in workloads"}});
+  if (flags.get_bool("list", false)) {
+    for (const auto& n : workloads::workload_names()) std::printf("%s\n", n.c_str());
+    return 0;
+  }
+  if (flags.has("in")) {
+    Trace tr;
+    std::string err;
+    if (!read_trace_file(flags.get("in", ""), &tr, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 1;
+    }
+    print_stats(tr);
+    return 0;
+  }
+  const std::string name = flags.get("workload", "h264dec-8x8-10f");
+  if (!workloads::is_workload(name)) {
+    std::fprintf(stderr, "unknown workload %s (use --list)\n", name.c_str());
+    return 2;
+  }
+  const Trace tr = workloads::make_workload(name);
+  print_stats(tr);
+  if (flags.has("out")) {
+    const std::string path = flags.get("out", "");
+    if (!write_trace_file(path, tr)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Always-on invariant checking for the simulator.
+//
+// A discrete-event hardware model is only as trustworthy as its internal
+// invariants; we keep them enabled in release builds because the cost is
+// negligible next to event dispatch and silent corruption of a timing model
+// is worse than a small slowdown.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nexus {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NEXUS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace nexus
+
+#define NEXUS_ASSERT(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::nexus::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NEXUS_ASSERT_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) ::nexus::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#if defined(NDEBUG)
+#define NEXUS_DCHECK(expr) ((void)0)
+#else
+#define NEXUS_DCHECK(expr) NEXUS_ASSERT(expr)
+#endif

@@ -1,0 +1,34 @@
+// Small bit-manipulation helpers used by the hardware models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace nexus {
+
+/// Extract bits [hi:lo] (inclusive, VHDL-style) of `v`.
+constexpr std::uint64_t bits(std::uint64_t v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  return (v >> lo) & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1ULL));
+}
+
+/// XOR-fold of the lowest 20 bits of an address into a 5-bit value,
+/// exactly the distribution function of the paper (Section IV-B):
+///   addr(19..15) ^ addr(14..10) ^ addr(9..5) ^ addr(4..0)
+constexpr std::uint32_t xor_fold20_5(std::uint64_t addr) {
+  return static_cast<std::uint32_t>(bits(addr, 19, 15) ^ bits(addr, 14, 10) ^
+                                    bits(addr, 9, 5) ^ bits(addr, 4, 0));
+}
+
+/// True if `v` is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v must be >= 1).
+constexpr std::uint64_t ceil_pow2(std::uint64_t v) { return std::bit_ceil(v); }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) {
+  return static_cast<unsigned>(std::bit_width(v) - 1);
+}
+
+}  // namespace nexus

@@ -1,0 +1,77 @@
+// Fixed-capacity ring buffer.
+//
+// Hardware FIFOs have a physical depth; modelling them with a bounded queue
+// keeps backpressure honest, and a non-allocating ring keeps the event loop
+// fast. Capacity is a construction-time parameter (hardware configurations
+// are runtime-selected in the experiments), storage is a single allocation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus {
+
+template <typename T>
+class FixedRing {
+ public:
+  explicit FixedRing(std::size_t capacity) : buf_(capacity) {
+    NEXUS_ASSERT_MSG(capacity > 0, "FixedRing capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Push to the back. Caller must check !full() first.
+  void push(T v) {
+    NEXUS_ASSERT_MSG(!full(), "push on full FixedRing");
+    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    ++size_;
+  }
+
+  /// Try to push; returns false (leaving the ring unchanged) when full.
+  [[nodiscard]] bool try_push(T v) {
+    if (full()) return false;
+    push(std::move(v));
+    return true;
+  }
+
+  [[nodiscard]] T& front() {
+    NEXUS_ASSERT_MSG(!empty(), "front on empty FixedRing");
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    NEXUS_ASSERT_MSG(!empty(), "front on empty FixedRing");
+    return buf_[head_];
+  }
+
+  T pop() {
+    NEXUS_ASSERT_MSG(!empty(), "pop on empty FixedRing");
+    T v = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    return v;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Element i positions from the front (0 = front). For inspection in tests.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    NEXUS_ASSERT(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nexus

@@ -1,0 +1,87 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All workload generators are seeded; two runs with the same parameters must
+// produce bit-identical traces so that every experiment in the paper harness
+// is reproducible. We use splitmix64 for seeding and xoshiro256** as the
+// engine (both public-domain algorithms by Blackman & Vigna).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace nexus {
+
+/// splitmix64: used to expand a single seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free bound is unnecessary here;
+    // workloads only need statistical (not cryptographic) uniformity.
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal via Box-Muller (uses two uniforms; no cached spare so
+  /// the stream stays position-independent for reproducibility).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Lognormal sample with the given log-space mu and sigma.
+  double lognormal(double mu, double sigma) { return std::exp(mu + sigma * normal()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace nexus

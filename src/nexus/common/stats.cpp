@@ -1,0 +1,17 @@
+#include "nexus/common/stats.hpp"
+
+namespace nexus {
+
+BalanceReport balance_report(const std::vector<std::uint64_t>& bin_counts) {
+  BalanceReport r;
+  if (bin_counts.empty()) return r;
+  Accumulator acc;
+  for (auto c : bin_counts) acc.add(static_cast<double>(c));
+  if (acc.mean() > 0.0) {
+    r.max_over_mean = acc.max() / acc.mean();
+    r.cv = acc.stddev() / acc.mean();
+  }
+  return r;
+}
+
+}  // namespace nexus

@@ -1,0 +1,125 @@
+#include "nexus/cost/fpga_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::cost {
+namespace {
+
+struct MeasuredRow {
+  std::uint32_t tgs;
+  double regs_pct, luts_pct, bram_pct, fmax, test;
+};
+
+// Table I, measured on the ZC706. (The 8-TG design's absolute counts,
+// 19350 registers / 127290 LUTs, pin the percentage scale.)
+constexpr MeasuredRow kSharpRows[] = {
+    {1, 1.0, 8.0, 13.0, 112.63, 100.00},
+    {2, 2.0, 15.0, 25.0, 112.63, 100.00},
+    {4, 3.0, 29.0, 47.0, 85.26, 83.33},
+    {6, 4.0, 44.0, 69.0, 55.66, 55.56},
+    {8, 4.43, 58.23, 91.0, 43.53, 41.66},
+};
+
+/// Interpolate (or extrapolate from the last two measured points) over the
+/// measured task-graph counts.
+double interp(std::uint32_t tgs, double MeasuredRow::* field) {
+  constexpr std::size_t n = std::size(kSharpRows);
+  const auto* lo = &kSharpRows[0];
+  const auto* hi = &kSharpRows[1];
+  if (tgs > kSharpRows[n - 1].tgs) {
+    lo = &kSharpRows[n - 2];
+    hi = &kSharpRows[n - 1];
+  } else {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (kSharpRows[i].tgs <= tgs && tgs <= kSharpRows[i + 1].tgs) {
+        lo = &kSharpRows[i];
+        hi = &kSharpRows[i + 1];
+        break;
+      }
+    }
+  }
+  const double t = (static_cast<double>(tgs) - lo->tgs) / (hi->tgs - lo->tgs);
+  return lo->*field + t * (hi->*field - lo->*field);
+}
+
+/// Test frequencies in the paper are integer-nanosecond clock periods
+/// (10 ns, 12 ns, 18 ns, 24 ns): pick the fastest such period <= fmax,
+/// capped at the 100 MHz test bound used for the small designs.
+double test_frequency_for(double fmax) {
+  for (int period_ns = 10; period_ns <= 40; ++period_ns) {
+    const double f = 1000.0 / period_ns;
+    if (f <= fmax) return std::min(f, 100.0);
+  }
+  return 25.0;
+}
+
+}  // namespace
+
+std::uint64_t UtilizationRow::regs_abs(const DeviceTotals& d) const {
+  return static_cast<std::uint64_t>(regs_pct / 100.0 *
+                                    static_cast<double>(d.registers) + 0.5);
+}
+
+std::uint64_t UtilizationRow::luts_abs(const DeviceTotals& d) const {
+  return static_cast<std::uint64_t>(luts_pct / 100.0 *
+                                    static_cast<double>(d.luts) + 0.5);
+}
+
+UtilizationRow nexuspp_row() {
+  UtilizationRow r;
+  r.config = "Nexus++";
+  r.regs_pct = 1.0;
+  r.luts_pct = 7.0;
+  r.bram_pct = 14.0;
+  r.fmax_mhz = 114.44;
+  r.test_mhz = 100.00;
+  r.measured = true;
+  return r;
+}
+
+UtilizationRow nexussharp_row(std::uint32_t num_task_graphs) {
+  NEXUS_ASSERT_MSG(num_task_graphs >= 1 && num_task_graphs <= 32,
+                   "1..32 task graphs");
+  UtilizationRow r;
+  r.config = "Nexus# " + std::to_string(num_task_graphs) +
+             (num_task_graphs == 1 ? " TG" : " TGs");
+  for (const auto& m : kSharpRows) {
+    if (m.tgs == num_task_graphs) {
+      r.regs_pct = m.regs_pct;
+      r.luts_pct = m.luts_pct;
+      r.bram_pct = m.bram_pct;
+      r.fmax_mhz = m.fmax;
+      r.test_mhz = m.test;
+      r.measured = true;
+      return r;
+    }
+  }
+  r.regs_pct = interp(num_task_graphs, &MeasuredRow::regs_pct);
+  r.luts_pct = interp(num_task_graphs, &MeasuredRow::luts_pct);
+  r.bram_pct = interp(num_task_graphs, &MeasuredRow::bram_pct);
+  r.fmax_mhz = interp(num_task_graphs, &MeasuredRow::fmax);
+  r.test_mhz = test_frequency_for(r.fmax_mhz);
+  r.measured = false;
+  return r;
+}
+
+std::vector<UtilizationRow> table1_rows() {
+  std::vector<UtilizationRow> rows;
+  rows.push_back(nexuspp_row());
+  for (const std::uint32_t n : {1u, 2u, 4u, 6u, 8u}) rows.push_back(nexussharp_row(n));
+  return rows;
+}
+
+std::uint32_t max_feasible_task_graphs() {
+  std::uint32_t best = 1;
+  for (std::uint32_t n = 1; n <= 32; ++n) {
+    const UtilizationRow r = nexussharp_row(n);
+    if (r.regs_pct < 100.0 && r.luts_pct < 100.0 && r.bram_pct < 100.0) best = n;
+  }
+  return best;
+}
+
+}  // namespace nexus::cost

@@ -1,0 +1,55 @@
+// FPGA resource and frequency model for the ZC706 target (Table I).
+//
+// We cannot run Xilinx synthesis offline, so Table I itself is the ground
+// truth: the rows the paper measured are stored exactly, and unlisted
+// task-graph counts are interpolated with the per-graph increments the
+// table exhibits (block RAMs ~11%/graph — the replicated task-graph
+// tables; LUTs ~7%/graph — the extra Input Parser and arbiter gather
+// logic; fmax degrading as the arbiter fan-in grows). The *test*
+// frequencies feed the Fig. 7(b)/8/9 performance simulations exactly as in
+// the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nexus::cost {
+
+/// Device totals of the Xilinx ZYNQ-7 ZC706 board (Z-7045).
+struct DeviceTotals {
+  std::uint64_t registers = 437200;
+  std::uint64_t luts = 218600;
+  std::uint64_t block_rams = 545;
+};
+
+struct UtilizationRow {
+  std::string config;      ///< "Nexus++" or "Nexus# N TG(s)"
+  double regs_pct = 0.0;   ///< registers, % of device
+  double luts_pct = 0.0;   ///< look-up tables, % of device
+  double bram_pct = 0.0;   ///< block RAMs, % of device
+  double fmax_mhz = 0.0;   ///< maximum synthesized frequency
+  double test_mhz = 0.0;   ///< frequency used in the evaluation runs
+  bool measured = false;   ///< true: paper row; false: interpolated
+
+  /// Absolute resource counts derived from the device totals (the paper
+  /// quotes 19350 registers / 127290 LUTs for the 8-TG design).
+  [[nodiscard]] std::uint64_t regs_abs(const DeviceTotals& d = {}) const;
+  [[nodiscard]] std::uint64_t luts_abs(const DeviceTotals& d = {}) const;
+};
+
+/// The Nexus++ baseline row (re-synthesized on the ZC706 in the paper).
+UtilizationRow nexuspp_row();
+
+/// The Nexus# row for a task-graph count. Counts present in Table I
+/// (1, 2, 4, 6, 8) return the measured values; others interpolate.
+UtilizationRow nexussharp_row(std::uint32_t num_task_graphs);
+
+/// All rows of Table I in paper order.
+std::vector<UtilizationRow> table1_rows();
+
+/// Largest task-graph count whose interpolated utilization still fits the
+/// device (every resource < 100%). With Table I's trend this lands at 8-9.
+std::uint32_t max_feasible_task_graphs();
+
+}  // namespace nexus::cost

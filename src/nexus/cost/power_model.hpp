@@ -1,0 +1,59 @@
+// Activity-based power/energy model (the paper's declared future work:
+// "power analysis... and the possibility of dynamically turning (parts of)
+// it on and off (as dark silicon)").
+//
+// The simulation already tracks per-unit busy time (IO/input parser, each
+// task graph, the arbiter), so dynamic energy is busy-time x per-unit power
+// at the configured clock, and leakage accrues over the whole run for every
+// powered block. The dark-silicon estimate power-gates idle task graphs:
+// each graph leaks only over its own duty cycle (plus a wake overhead),
+// which is the paper's "turn it off when the ready-task bank is full" idea
+// in steady state.
+//
+// Coefficients are synthetic (the paper publishes no power numbers) but
+// follow FPGA intuition: dynamic power scales with frequency, block RAM
+// dominated task graphs cost more than control logic, and leakage scales
+// with the area of Table I. They are configuration knobs, not claims.
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/nexussharp/nexussharp.hpp"
+#include "nexus/nexuspp/nexuspp.hpp"
+
+namespace nexus::cost {
+
+struct PowerConfig {
+  // Dynamic power of a unit while busy, in mW at 100 MHz (linear in f).
+  double io_dynamic_mw = 30.0;
+  double tg_dynamic_mw = 55.0;       ///< per task graph (BRAM-heavy)
+  double arbiter_dynamic_mw = 40.0;
+  // Static leakage while powered, in mW (frequency-independent).
+  double base_leakage_mw = 18.0;     ///< IO, pool, write-back, clocking
+  double tg_leakage_mw = 7.5;        ///< per task graph
+  // Dark-silicon gating: extra duty cycle charged per gated graph for
+  // wake/sleep transitions.
+  double gating_overhead = 0.05;
+};
+
+struct EnergyReport {
+  double dynamic_mj = 0.0;
+  double leakage_mj = 0.0;
+  double gated_leakage_mj = 0.0;  ///< leakage under dark-silicon gating
+  [[nodiscard]] double total_mj() const { return dynamic_mj + leakage_mj; }
+  [[nodiscard]] double gated_total_mj() const { return dynamic_mj + gated_leakage_mj; }
+  double avg_power_mw = 0.0;      ///< total energy / makespan
+  double uj_per_task = 0.0;       ///< management energy per task
+  double gated_savings_pct = 0.0; ///< leakage saved by gating idle graphs
+};
+
+/// Energy of a Nexus# run from its stats and the run's makespan.
+EnergyReport estimate_energy(const NexusSharp::Stats& stats,
+                             const NexusSharpConfig& cfg, Tick makespan,
+                             const PowerConfig& power = {});
+
+/// Energy of a Nexus++ run (single task graph, no gating benefit).
+EnergyReport estimate_energy(const NexusPP::Stats& stats, const NexusPPConfig& cfg,
+                             Tick makespan, const PowerConfig& power = {});
+
+}  // namespace nexus::cost

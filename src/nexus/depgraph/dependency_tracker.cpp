@@ -1,0 +1,112 @@
+#include "nexus/depgraph/dependency_tracker.hpp"
+
+#include <algorithm>
+
+namespace nexus {
+
+DependencyTracker::TaskState& DependencyTracker::state(TaskId id) {
+  if (id >= tasks_.size()) tasks_.resize(id + 1);
+  return tasks_[id];
+}
+
+const DependencyTracker::TaskState* DependencyTracker::find_state(TaskId id) const {
+  return id < tasks_.size() ? &tasks_[id] : nullptr;
+}
+
+std::size_t DependencyTracker::submit(const TaskDescriptor& task) {
+  NEXUS_ASSERT_MSG(validate_task(task), "invalid task submitted to tracker");
+  TaskState& ts = state(task.id);
+  NEXUS_ASSERT_MSG(!ts.submitted, "task submitted twice");
+  ts.submitted = true;
+  ts.params = task.params;
+  ++in_flight_;
+
+  std::uint32_t blocked = 0;
+  for (const auto& p : task.params) {
+    AddrState& as = addr_state_[p.addr];
+    if (is_write(p.dir)) {
+      as.last_writer = task.id;
+      const bool runs_now = as.groups.empty();
+      as.groups.push_back(Group{true, {task.id}, 1});
+      if (!runs_now) ++blocked;
+    } else {
+      if (as.groups.empty()) {
+        as.groups.push_back(Group{false, {task.id}, 1});
+      } else if (as.groups.size() == 1 && !as.groups.front().is_writer) {
+        // Join the currently-running reader group: readable immediately.
+        as.groups.front().members.push_back(task.id);
+        ++as.groups.front().unfinished;
+      } else if (!as.groups.back().is_writer) {
+        // Join the youngest waiting reader group.
+        as.groups.back().members.push_back(task.id);
+        ++as.groups.back().unfinished;
+        ++blocked;
+      } else {
+        as.groups.push_back(Group{false, {task.id}, 1});
+        ++blocked;
+      }
+    }
+  }
+  ts.deps = blocked;
+  return blocked;
+}
+
+void DependencyTracker::finish(TaskId id, std::vector<TaskId>* newly_ready) {
+  NEXUS_ASSERT(newly_ready != nullptr);
+  TaskState& ts = state(id);
+  NEXUS_ASSERT_MSG(ts.submitted && !ts.finished, "finish of non-running task");
+  NEXUS_ASSERT_MSG(ts.deps == 0, "finish of task that was never ready");
+  ts.finished = true;
+  --in_flight_;
+
+  for (const auto& p : ts.params) {
+    const auto it = addr_state_.find(p.addr);
+    NEXUS_ASSERT_MSG(it != addr_state_.end(), "finish for untracked address");
+    AddrState& as = it->second;
+    NEXUS_ASSERT_MSG(!as.groups.empty(), "finish with empty access queue");
+    Group& head = as.groups.front();
+    // Invariant: a running task's accesses are always in the head group.
+    NEXUS_DCHECK(std::find(head.members.begin(), head.members.end(), id) !=
+                 head.members.end());
+    NEXUS_ASSERT(head.unfinished > 0);
+    if (--head.unfinished == 0) {
+      as.groups.pop_front();
+      if (as.groups.empty()) {
+        // Fully drained: drop the tracking state (mirrors the hardware
+        // deleting a task-graph entry whose kick-off list emptied).
+        addr_state_.erase(it);
+      } else {
+        // Kick off the next access group: every member loses one dependence.
+        for (const TaskId m : as.groups.front().members) {
+          TaskState& ms = state(m);
+          NEXUS_ASSERT(ms.deps > 0);
+          if (--ms.deps == 0) newly_ready->push_back(m);
+        }
+      }
+    }
+  }
+  ts.params.clear();
+}
+
+std::size_t DependencyTracker::dep_count(TaskId id) const {
+  const TaskState* ts = find_state(id);
+  NEXUS_ASSERT_MSG(ts != nullptr && ts->submitted, "dep_count of unknown task");
+  return ts->deps;
+}
+
+bool DependencyTracker::is_finished(TaskId id) const {
+  const TaskState* ts = find_state(id);
+  return ts != nullptr && ts->finished;
+}
+
+std::optional<TaskId> DependencyTracker::pending_writer(Addr addr) const {
+  const auto it = addr_state_.find(addr);
+  if (it == addr_state_.end()) return std::nullopt;
+  const TaskId w = it->second.last_writer;
+  if (w == kInvalidTask) return std::nullopt;
+  const TaskState* ts = find_state(w);
+  if (ts == nullptr || ts->finished) return std::nullopt;
+  return w;
+}
+
+}  // namespace nexus

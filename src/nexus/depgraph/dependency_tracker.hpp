@@ -1,0 +1,84 @@
+// Golden (software) dependency tracker.
+//
+// This is the functional specification of what every task manager in this
+// repository must compute: StarSs/OmpSs data-dependency semantics over the
+// tasks' declared memory footprints.
+//
+// Per address we keep an ordered queue of *access groups*. A group is either
+// one writer (out/inout) or a set of concurrent readers (in). The head group
+// is the set of accessors currently allowed to touch the address; later
+// groups wait. This encodes RAW, WAR and WAW ordering while letting
+// consecutive readers run concurrently — exactly the "Kick-Off List"
+// behaviour of the Nexus designs, without any capacity limit.
+//
+// The hardware models (Nexus++/Nexus#) implement the same semantics with
+// bounded structures and cycle costs; unit tests check them against this
+// tracker on randomized workloads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nexus/task/task.hpp"
+
+namespace nexus {
+
+class DependencyTracker {
+ public:
+  /// Register a submitted task. Returns the number of its parameters that
+  /// must wait for earlier accessors; 0 means the task is immediately ready.
+  std::size_t submit(const TaskDescriptor& task);
+
+  /// Mark a task finished. Appends newly-ready task ids to *newly_ready.
+  /// The task must have been submitted, ready and not yet finished.
+  void finish(TaskId id, std::vector<TaskId>* newly_ready);
+
+  /// Remaining blocked parameters of a pending task (0 = ready).
+  [[nodiscard]] std::size_t dep_count(TaskId id) const;
+
+  [[nodiscard]] bool is_ready(TaskId id) const { return dep_count(id) == 0; }
+  [[nodiscard]] bool is_finished(TaskId id) const;
+
+  /// The as-yet-unfinished task that most recently wrote `addr`, if any.
+  /// This is the task a `taskwait on(addr)` must wait for.
+  [[nodiscard]] std::optional<TaskId> pending_writer(Addr addr) const;
+
+  /// Number of submitted-but-unfinished tasks.
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
+
+  /// Number of addresses with live tracking state (tests/capacity studies).
+  [[nodiscard]] std::size_t live_addresses() const { return addr_state_.size(); }
+
+ private:
+  struct Group {
+    bool is_writer = false;
+    // Writer groups have exactly one member; reader groups one or more.
+    std::vector<TaskId> members;
+    std::uint32_t unfinished = 0;  ///< members not yet finished
+  };
+
+  struct AddrState {
+    std::deque<Group> groups;            ///< front = currently running group
+    TaskId last_writer = kInvalidTask;   ///< most recent writer (any state)
+  };
+
+  struct TaskState {
+    std::uint32_t deps = 0;
+    bool submitted = false;
+    bool finished = false;
+    ParamList params;  ///< retained for release at finish()
+  };
+
+  TaskState& state(TaskId id);
+  [[nodiscard]] const TaskState* find_state(TaskId id) const;
+
+  std::unordered_map<Addr, AddrState> addr_state_;
+  std::vector<TaskState> tasks_;  ///< indexed by TaskId (ids are dense)
+  std::size_t in_flight_ = 0;
+  std::vector<TaskId> finished_writers_scratch_;
+};
+
+}  // namespace nexus

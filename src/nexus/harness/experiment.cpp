@@ -1,0 +1,138 @@
+#include "nexus/harness/experiment.hpp"
+
+#include <cstdio>
+
+#include "nexus/common/table.hpp"
+#include "nexus/cost/fpga_model.hpp"
+#include "nexus/runtime/ideal_manager.hpp"
+#include "nexus/runtime/list_scheduler.hpp"
+
+namespace nexus::harness {
+
+std::vector<std::uint32_t> paper_cores_256() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::uint32_t> paper_cores_64() { return {1, 2, 4, 8, 16, 32, 64}; }
+
+std::vector<std::uint32_t> nanos_cores_32() { return {1, 2, 4, 8, 16, 32}; }
+
+ManagerSpec ManagerSpec::ideal() {
+  ManagerSpec s;
+  s.kind = Kind::kIdeal;
+  s.label = "ideal";
+  return s;
+}
+
+ManagerSpec ManagerSpec::nanos_default() {
+  ManagerSpec s;
+  s.kind = Kind::kNanos;
+  s.label = "nanos";
+  return s;
+}
+
+ManagerSpec ManagerSpec::nexuspp_default() {
+  ManagerSpec s;
+  s.kind = Kind::kNexusPP;
+  s.label = "nexus++";
+  return s;
+}
+
+ManagerSpec ManagerSpec::nexussharp(std::uint32_t tgs, double mhz_override) {
+  ManagerSpec s;
+  s.kind = Kind::kNexusSharp;
+  s.sharp.num_task_graphs = tgs;
+  s.sharp.freq_mhz =
+      mhz_override > 0.0 ? mhz_override : cost::nexussharp_row(tgs).test_mhz;
+  char label[64];
+  std::snprintf(label, sizeof label, "nexus#-%uTG@%.2fMHz", tgs, s.sharp.freq_mhz);
+  s.label = label;
+  return s;
+}
+
+double Series::max_speedup() const {
+  double best = 0.0;
+  for (const auto& p : points) best = std::max(best, p.speedup);
+  return best;
+}
+
+double Series::speedup_at(std::uint32_t n) const {
+  double v = 0.0;
+  for (const auto& p : points)
+    if (p.cores <= n) v = p.speedup;
+  return v;
+}
+
+Tick ideal_baseline(const Trace& trace) { return list_schedule_makespan(trace, 1); }
+
+Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
+              const RuntimeConfig& base) {
+  RuntimeConfig rc = base;
+  rc.workers = cores;
+  switch (spec.kind) {
+    case ManagerSpec::Kind::kIdeal:
+      // The fast list scheduler computes the identical makespan (tested
+      // against the DES + IdealManager pair) without event overhead —
+      // unless host costs are configured, which need the DES.
+      if (rc.host_message_cost == 0 && rc.master_event_cost == 0)
+        return list_schedule_makespan(trace, cores);
+      else {
+        IdealManager mgr;
+        return run_trace(trace, mgr, rc).makespan;
+      }
+    case ManagerSpec::Kind::kNanos: {
+      NanosModel mgr(spec.nanos);
+      return run_trace(trace, mgr, rc).makespan;
+    }
+    case ManagerSpec::Kind::kNexusPP: {
+      NexusPP mgr(spec.npp);
+      return run_trace(trace, mgr, rc).makespan;
+    }
+    case ManagerSpec::Kind::kNexusSharp: {
+      NexusSharp mgr(spec.sharp, spec.arbiter_policy);
+      return run_trace(trace, mgr, rc).makespan;
+    }
+  }
+  NEXUS_ASSERT_MSG(false, "unreachable");
+  return 0;
+}
+
+Series sweep(const Trace& trace, const ManagerSpec& spec,
+             const std::vector<std::uint32_t>& cores, Tick baseline,
+             const RuntimeConfig& base) {
+  Series s;
+  s.label = spec.label;
+  for (const std::uint32_t c : cores) {
+    SweepPoint p;
+    p.cores = c;
+    p.makespan = run_once(trace, spec, c, base);
+    p.speedup = p.makespan > 0 ? static_cast<double>(baseline) /
+                                     static_cast<double>(p.makespan)
+                               : 0.0;
+    s.points.push_back(p);
+  }
+  return s;
+}
+
+void print_series(const std::string& title, const std::vector<std::uint32_t>& cores,
+                  const std::vector<Series>& series, bool csv) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> header{"cores"};
+  for (const auto& s : series) header.push_back(s.label);
+  TextTable t(header);
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    std::vector<std::string> row{std::to_string(cores[i])};
+    for (const auto& s : series) {
+      // Series may cover a prefix of the core axis (Nanos stops at 32).
+      std::string cell = "-";
+      for (const auto& p : s.points)
+        if (p.cores == cores[i]) cell = TextTable::num(p.speedup, 2);
+      row.push_back(cell);
+    }
+    t.add_row(row);
+  }
+  t.print();
+  if (csv) std::fputs(t.csv().c_str(), stdout);
+}
+
+}  // namespace nexus::harness

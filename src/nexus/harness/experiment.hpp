@@ -1,0 +1,73 @@
+// Experiment harness: core-count sweeps of a trace against a task manager,
+// speedup series, and paper-style table output — the machinery every
+// bench/figure binary shares.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/nexuspp/nexuspp.hpp"
+#include "nexus/nexussharp/nexussharp.hpp"
+#include "nexus/runtime/nanos_model.hpp"
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/task/trace.hpp"
+
+namespace nexus::harness {
+
+/// The paper's core-count axes.
+std::vector<std::uint32_t> paper_cores_256();  ///< 1,2,4,...,256 (Figs. 7/8)
+std::vector<std::uint32_t> paper_cores_64();   ///< 1,2,4,...,64 (Fig. 9)
+std::vector<std::uint32_t> nanos_cores_32();   ///< 1,...,32 (the test machine)
+
+/// Which dependency-resolution back-end a sweep uses.
+struct ManagerSpec {
+  enum class Kind { kIdeal, kNanos, kNexusPP, kNexusSharp } kind = Kind::kIdeal;
+  std::string label = "ideal";
+  NanosConfig nanos{};
+  NexusPPConfig npp{};
+  NexusSharpConfig sharp{};
+  ArbiterPolicy arbiter_policy = ArbiterPolicy::kReadyFirst;
+
+  static ManagerSpec ideal();
+  static ManagerSpec nanos_default();
+  static ManagerSpec nexuspp_default();
+  /// Nexus# at a TG count, clocked per Table I's test frequency (or at
+  /// `mhz_override` > 0, e.g. the Fig. 7(a) fixed-100MHz runs).
+  static ManagerSpec nexussharp(std::uint32_t tgs, double mhz_override = 0.0);
+};
+
+struct SweepPoint {
+  std::uint32_t cores = 0;
+  Tick makespan = 0;
+  double speedup = 0.0;  ///< vs the ideal single-core baseline
+};
+
+struct Series {
+  std::string label;
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] double max_speedup() const;
+  /// Speedup at the largest cores <= n (0 if none).
+  [[nodiscard]] double speedup_at(std::uint32_t n) const;
+};
+
+/// The paper's speedup baseline: "single core execution time of the ideal
+/// curve" — the no-overhead makespan on one worker.
+Tick ideal_baseline(const Trace& trace);
+
+/// One makespan measurement (fresh manager instance per call).
+Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
+              const RuntimeConfig& base = {});
+
+/// Sweep a core-count axis. `base.workers` is overwritten per point.
+Series sweep(const Trace& trace, const ManagerSpec& spec,
+             const std::vector<std::uint32_t>& cores, Tick baseline,
+             const RuntimeConfig& base = {});
+
+/// Print a figure-style table: one row per core count, one column per
+/// series, plus (optionally) CSV to stdout.
+void print_series(const std::string& title, const std::vector<std::uint32_t>& cores,
+                  const std::vector<Series>& series, bool csv = false);
+
+}  // namespace nexus::harness

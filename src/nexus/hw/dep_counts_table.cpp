@@ -1,0 +1,3 @@
+#include "nexus/hw/dep_counts_table.hpp"
+
+// Header-only; this TU pins the library's symbols and include hygiene.

@@ -1,0 +1,47 @@
+// The global Dependence Counts Table (Fig. 2).
+//
+// Once the Dependence Counts Arbiter has gathered all of a task's per-graph
+// results, a nonzero total is parked here; finish-path decrements retire it
+// towards readiness.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nexus/task/task.hpp"
+
+namespace nexus::hw {
+
+class DepCountsTable {
+ public:
+  /// Park a task with `count` outstanding dependences (count >= 1).
+  void set(TaskId id, std::uint32_t count) {
+    NEXUS_ASSERT(count >= 1);
+    const bool fresh = counts_.emplace(id, count).second;
+    NEXUS_ASSERT_MSG(fresh, "dep count already present");
+    peak_ = std::max<std::uint64_t>(peak_, counts_.size());
+  }
+
+  /// Satisfy one dependence; returns true when the task became ready (its
+  /// entry is then removed).
+  bool decrement(TaskId id) {
+    const auto it = counts_.find(id);
+    NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
+    NEXUS_ASSERT(it->second > 0);
+    if (--it->second == 0) {
+      counts_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(TaskId id) const { return counts_.count(id) > 0; }
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+ private:
+  std::unordered_map<TaskId, std::uint32_t> counts_;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace nexus::hw

@@ -1,0 +1,3 @@
+#include "nexus/hw/task_pool.hpp"
+
+// Header-only; this TU pins the library's symbols and include hygiene.

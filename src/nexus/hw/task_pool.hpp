@@ -1,0 +1,53 @@
+// The Task Pool: bounded storage for in-flight task descriptors.
+//
+// Both Nexus designs keep every accepted task's descriptor (function
+// pointer + input/output list) on-chip until the task finishes, because the
+// finish path re-reads the I/O list to update the task graphs. A full pool
+// back-pressures the host: submission stalls until a task retires — the
+// windowing behaviour that bounds how far the manager can run ahead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "nexus/task/task.hpp"
+
+namespace nexus::hw {
+
+class TaskPool {
+ public:
+  explicit TaskPool(std::size_t capacity) : capacity_(capacity) {
+    NEXUS_ASSERT(capacity > 0);
+    slots_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] bool full() const { return slots_.size() >= capacity_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+  void insert(const TaskDescriptor& t) {
+    NEXUS_ASSERT_MSG(!full(), "task pool overflow");
+    const bool fresh = slots_.emplace(t.id, t).second;
+    NEXUS_ASSERT_MSG(fresh, "task already pooled");
+    peak_ = std::max<std::uint64_t>(peak_, slots_.size());
+  }
+
+  [[nodiscard]] const TaskDescriptor& get(TaskId id) const {
+    const auto it = slots_.find(id);
+    NEXUS_ASSERT_MSG(it != slots_.end(), "task not in pool");
+    return it->second;
+  }
+
+  void erase(TaskId id) {
+    const auto n = slots_.erase(id);
+    NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<TaskId, TaskDescriptor> slots_;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace nexus::hw

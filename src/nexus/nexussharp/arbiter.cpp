@@ -1,0 +1,196 @@
+#include "nexus/nexussharp/arbiter.hpp"
+
+#include <algorithm>
+
+namespace nexus {
+
+const char* to_string(ArbiterPolicy p) {
+  switch (p) {
+    case ArbiterPolicy::kReadyFirst: return "ready-first";
+    case ArbiterPolicy::kDepFirst: return "dep-first";
+    case ArbiterPolicy::kRoundRobin: return "round-robin";
+  }
+  return "?";
+}
+
+namespace detail {
+
+SharpArbiter::SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy)
+    : cfg_(cfg), policy_(policy), clk_(cfg.freq_mhz),
+      dep_q_(cfg.num_task_graphs) {}
+
+bool SharpArbiter::dep_pending() const {
+  for (const auto& q : dep_q_)
+    if (!q.empty()) return true;
+  return false;
+}
+
+void SharpArbiter::attach(Simulation& sim, RuntimeHost* host) {
+  host_ = host;
+  self_ = sim.add_component(this);
+}
+
+void SharpArbiter::handle(Simulation& sim, const Event& ev) {
+  switch (ev.op) {
+    case kReady:
+      ready_q_.push_back(static_cast<TaskId>(ev.a));
+      // A single-param ready record supersedes any gathering state.
+      sim_tasks_.erase(static_cast<TaskId>(ev.a));
+      pump(sim);
+      break;
+    case kWait:
+      wait_q_.push_back(static_cast<TaskId>(ev.a));
+      pump(sim);
+      break;
+    case kDep:
+      NEXUS_DCHECK(ev.b < dep_q_.size());
+      dep_q_[ev.b].push_back(ev.a);
+      pump(sim);
+      break;
+    case kMeta: {
+      const auto id = static_cast<TaskId>(ev.a & 0xFFFFFFFF);
+      const auto nparams = static_cast<std::uint32_t>(ev.a >> 32);
+      // Single-param immediately-ready tasks bypass gathering entirely; the
+      // kReady record erased/elides their entry. Only track multi-record
+      // tasks still needing a conclusion.
+      SimTask& st = sim_tasks_[id];
+      st.nparams = nparams;
+      peak_sim_tasks_ = std::max<std::uint64_t>(peak_sim_tasks_, sim_tasks_.size());
+      conclude_if_complete(sim, id, st, sim.now());
+      pump(sim);
+      break;
+    }
+    case kWbDone:
+      ++delivered_;
+      host_->task_ready(sim, static_cast<TaskId>(ev.a));
+      break;
+    case kPump:
+      pump_pending_ = false;
+      pump(sim);
+      break;
+    default:
+      NEXUS_ASSERT_MSG(false, "unknown SharpArbiter op");
+  }
+}
+
+void SharpArbiter::pump(Simulation& sim) {
+  const Tick now = sim.now();
+  if (now < port_free_) {
+    if (!pump_pending_) {
+      pump_pending_ = true;
+      sim.schedule(port_free_, self_, kPump);
+    }
+    return;
+  }
+
+  // Grant one buffer class according to the configured priority policy.
+  enum Class { kClsReady, kClsWait, kClsDep, kClsNone };
+  Class pick = kClsNone;
+  switch (policy_) {
+    case ArbiterPolicy::kReadyFirst:
+      pick = !ready_q_.empty()  ? kClsReady
+             : !wait_q_.empty() ? kClsWait
+             : dep_pending()    ? kClsDep
+                                : kClsNone;
+      break;
+    case ArbiterPolicy::kDepFirst:
+      pick = dep_pending()       ? kClsDep
+             : !wait_q_.empty()  ? kClsWait
+             : !ready_q_.empty() ? kClsReady
+                                 : kClsNone;
+      break;
+    case ArbiterPolicy::kRoundRobin:
+      for (std::uint32_t i = 0; i < 3 && pick == kClsNone; ++i) {
+        const std::uint32_t cls = (rr_next_ + i) % 3;
+        if (cls == 0 && !ready_q_.empty()) pick = kClsReady;
+        if (cls == 1 && !wait_q_.empty()) pick = kClsWait;
+        if (cls == 2 && dep_pending()) pick = kClsDep;
+      }
+      rr_next_ = (rr_next_ + 1) % 3;
+      break;
+  }
+  if (pick == kClsNone) return;
+
+  Tick cost = 0;
+  switch (pick) {
+    case kClsReady: {
+      const TaskId id = ready_q_.front();
+      ready_q_.pop_front();
+      cost = cycles(cfg_.arb_ready_cycles);
+      to_writeback(sim, now + cost, id);
+      break;
+    }
+    case kClsWait: {
+      // "Decrements the dependence counts of those waiting tasks one by
+      // one" (Section IV-C).
+      const TaskId id = wait_q_.front();
+      wait_q_.pop_front();
+      cost = cycles(cfg_.arb_wait_cycles);
+      const auto it = sim_tasks_.find(id);
+      if (it != sim_tasks_.end()) {
+        // Kick raced ahead of (or into) the gathering phase: absorb it in
+        // the Sim Tasks buffer (Section IV-C's "simultaneous" case).
+        ++it->second.pending_dec;
+        conclude_if_complete(sim, id, it->second, now + cost);
+      } else if (depcounts_.decrement(id)) {
+        to_writeback(sim, now + cost, id);
+      }
+      break;
+    }
+    case kClsDep: {
+      // One gather grant reads a record from every nonempty Dep. Counts
+      // buffer in parallel: "the arbiter consumes only two cycles, to
+      // collect the results of all the task graphs" (Section IV-D).
+      cost = cycles(cfg_.arb_dep_cycles);
+      for (auto& q : dep_q_) {
+        if (q.empty()) continue;
+        const std::uint64_t rec = q.front();
+        q.pop_front();
+        const auto id = static_cast<TaskId>(rec & 0xFFFFFFFF);
+        const auto contributes = static_cast<std::uint32_t>(rec >> 32);
+        SimTask& st = sim_tasks_[id];
+        ++st.seen;
+        st.total += contributes;
+        peak_sim_tasks_ =
+            std::max<std::uint64_t>(peak_sim_tasks_, sim_tasks_.size());
+        conclude_if_complete(sim, id, st, now + cost);
+      }
+      break;
+    }
+    case kClsNone:
+      break;
+  }
+  port_free_ = now + cost;
+  busy_ += cost;
+  if (!ready_q_.empty() || !wait_q_.empty() || dep_pending()) {
+    if (!pump_pending_) {
+      pump_pending_ = true;
+      sim.schedule(port_free_, self_, kPump);
+    }
+  }
+}
+
+void SharpArbiter::conclude_if_complete(Simulation& sim, TaskId id, SimTask& st,
+                                        Tick at) {
+  if (st.nparams == 0 || st.seen < st.nparams) return;  // still gathering
+  NEXUS_ASSERT_MSG(st.seen == st.nparams, "gathered more records than params");
+  NEXUS_ASSERT_MSG(st.pending_dec <= st.total, "kick without a queued param");
+  const std::uint32_t remaining = st.total - st.pending_dec;
+  sim_tasks_.erase(id);
+  if (remaining == 0) {
+    to_writeback(sim, at, id);
+  } else {
+    depcounts_.set(id, remaining);
+  }
+}
+
+void SharpArbiter::to_writeback(Simulation& sim, Tick from, TaskId id) {
+  // Internal Ready Tasks FIFO (3 cycles) then the Write-Back stage
+  // (3 cycles: reads the Function Pointers table, forwards to Nexus IO).
+  const Tick start = std::max(from + cycles(cfg_.fifo_latency), sim.now());
+  const Tick done = wb_.acquire(start, cycles(cfg_.writeback_cycles));
+  sim.schedule(done, self_, kWbDone, id);
+}
+
+}  // namespace detail
+}  // namespace nexus

@@ -1,0 +1,97 @@
+// The Dependence Counts Arbiter (Fig. 2, Section IV-C/D).
+//
+// Gathers per-task-graph results — ready tasks, waiting-task kicks and
+// dependence-count records — and concludes each task's global state. While
+// a task's parameters are still in flight across graphs its partial count
+// lives in the Sim(-ultaneous) Tasks buffer; concluded nonzero counts park
+// in the global Dep Counts Table; ready tasks flow through the Internal
+// Ready Tasks buffer to the Write-Back unit.
+//
+// The arbiter serves one record per grant with the paper's priority
+// (Ready > Waiting > DepCounts), which keeps the forwarding path short and
+// gives the task graphs time to work (Section IV-D).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "nexus/hw/dep_counts_table.hpp"
+#include "nexus/nexussharp/config.hpp"
+#include "nexus/runtime/manager.hpp"
+#include "nexus/sim/server.hpp"
+#include "nexus/sim/simulation.hpp"
+
+namespace nexus::detail {
+
+class SharpArbiter final : public Component {
+ public:
+  SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy);
+
+  void attach(Simulation& sim, RuntimeHost* host);
+
+  /// Component id for event addressing (valid after attach).
+  [[nodiscard]] std::uint32_t component_id() const { return self_; }
+
+  // --- inputs from the task graphs / input parser (event-scheduled by the
+  //     caller at result-buffer visibility time) ---
+  enum Op : std::uint32_t {
+    kReady = 0,  ///< a = task: single-param immediately-ready record
+    kWait = 1,   ///< a = task: one kicked waiter (one dependence satisfied)
+    kDep = 2,    ///< a = task | contributes<<32, b = source task graph
+    kMeta = 3,   ///< a = task | nparams<<32: Task Pool descriptor committed
+    kWbDone = 4, ///< a = task: write-back completed -> host
+    kPump = 5,
+  };
+
+  void handle(Simulation& sim, const Event& ev) override;
+
+  // --- stats ---
+  [[nodiscard]] std::uint64_t ready_delivered() const { return delivered_; }
+  [[nodiscard]] Tick busy_time() const { return busy_; }
+  [[nodiscard]] const hw::DepCountsTable& dep_counts() const { return depcounts_; }
+  [[nodiscard]] std::uint64_t peak_sim_tasks() const { return peak_sim_tasks_; }
+  /// Tasks still gathering records; must be 0 once a run drains.
+  [[nodiscard]] std::size_t sim_tasks_live() const { return sim_tasks_.size(); }
+
+ private:
+  struct SimTask {
+    std::uint32_t nparams = 0;      ///< 0 until the kMeta record arrives
+    std::uint32_t seen = 0;         ///< dep-count records gathered
+    std::uint32_t total = 0;        ///< blocked-parameter tally
+    std::uint32_t pending_dec = 0;  ///< kicks that raced ahead of gathering
+  };
+
+  [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
+  void pump(Simulation& sim);
+  void conclude_if_complete(Simulation& sim, TaskId id, SimTask& st, Tick at);
+  void to_writeback(Simulation& sim, Tick from, TaskId id);
+
+  const NexusSharpConfig& cfg_;
+  ArbiterPolicy policy_;
+  ClockDomain clk_;
+  RuntimeHost* host_ = nullptr;
+  std::uint32_t self_ = 0;
+
+  [[nodiscard]] bool dep_pending() const;
+
+  std::deque<TaskId> ready_q_;
+  std::deque<TaskId> wait_q_;
+  /// Per-task-graph Dep. Counts buffers: one gather grant (2 cycles) reads
+  /// one record from EVERY nonempty buffer in parallel — the paper's
+  /// best-case "two cycles to collect the results of all the task graphs".
+  std::vector<std::deque<std::uint64_t>> dep_q_;
+  std::uint32_t rr_next_ = 0;  ///< for the round-robin ablation policy
+
+  std::unordered_map<TaskId, SimTask> sim_tasks_;
+  hw::DepCountsTable depcounts_;
+  Server wb_;
+  Tick port_free_ = 0;
+  bool pump_pending_ = false;
+
+  std::uint64_t delivered_ = 0;
+  Tick busy_ = 0;
+  std::uint64_t peak_sim_tasks_ = 0;
+};
+
+}  // namespace nexus::detail

@@ -1,0 +1,56 @@
+// Nexus# configuration: task-graph count, clock frequency and the cycle
+// budget of every unit in Figs. 4/5.
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/hw/distribution.hpp"
+#include "nexus/hw/task_graph_table.hpp"
+
+namespace nexus {
+
+struct NexusSharpConfig {
+  std::uint32_t num_task_graphs = 6;  ///< the paper's chosen configuration
+  double freq_mhz = 55.56;            ///< Table I test frequency for 6 TGs
+  hw::TableConfig table{};            ///< per-task-graph set-associative table
+  /// In-flight task window; see NexusPPConfig::pool_capacity.
+  std::size_t pool_capacity = 1024;
+  hw::DistributionPolicy distribution = hw::DistributionPolicy::kXorFold;
+
+  // --- submission pipeline (Fig. 4) ---
+  std::int64_t header_cycles = 2;      ///< IPh: header word (fn ptr + #params)
+  std::int64_t recv_per_param = 2;     ///< IP: two 32-bit PCIe packets/address
+  std::int64_t pool_write_cycles = 1;  ///< IPf: descriptor into the Task Pool
+  std::int64_t fifo_latency = 3;       ///< "data needs 3 cycles to appear"
+  std::int64_t tg_insert_per_param = 5;///< IN: task-graph insertion
+  std::int64_t chain_hop_cycles = 2;   ///< per dummy-entry hop in a kick-off list
+
+  // --- Dependence Counts Arbiter (Section IV-C/D) ---
+  std::int64_t arb_ready_cycles = 1;   ///< forward a ready-task record
+  std::int64_t arb_wait_cycles = 2;    ///< waiting-task decrement
+  std::int64_t arb_dep_cycles = 2;     ///< dep-count gather per record
+  std::int64_t writeback_cycles = 3;   ///< WB: ready id + fn ptr to Nexus IO
+
+  // --- finished-task path ---
+  std::int64_t finish_receive = 2;        ///< notification over the IO unit
+  std::int64_t pool_read_cycles = 1;      ///< Task Pool I/O-list read
+  std::int64_t distribute_per_param = 1;  ///< redistribute to Finished Args
+  std::int64_t tg_finish_per_param = 5;   ///< task-graph update
+  std::int64_t kick_enqueue_cycles = 1;   ///< per waiter into Wait. Tasks Buffer
+
+  // --- host-visible pragma support ---
+  std::int64_t taskwait_on_cycles = 5;  ///< query round trip through the IO unit
+};
+
+/// Arbiter service priority (Section IV-D): the paper's policy serves Ready
+/// Tasks first, then Waiting Tasks, then Dep Counts. Alternatives exist for
+/// the ablation bench.
+enum class ArbiterPolicy : std::uint8_t {
+  kReadyFirst = 0,  ///< paper: Ready > Waiting > DepCounts
+  kDepFirst = 1,    ///< reversed: DepCounts > Waiting > Ready
+  kRoundRobin = 2,  ///< rotate between the three buffer classes
+};
+
+const char* to_string(ArbiterPolicy p);
+
+}  // namespace nexus

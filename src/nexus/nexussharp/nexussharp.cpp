@@ -1,0 +1,141 @@
+#include "nexus/nexussharp/nexussharp.hpp"
+
+namespace nexus {
+
+NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy)
+    : cfg_(cfg),
+      clk_(cfg.freq_mhz),
+      pool_(cfg.pool_capacity),
+      distributor_(cfg.distribution, cfg.num_task_graphs) {
+  NEXUS_ASSERT_MSG(cfg.num_task_graphs >= 1 && cfg.num_task_graphs <= 32,
+                   "Nexus# supports 1..32 task graphs");
+  NEXUS_ASSERT_MSG(distributor_.preserves_affinity(),
+                   "dependency tracking requires an affinity-preserving "
+                   "distribution function (Section IV-A)");
+  arbiter_ = std::make_unique<detail::SharpArbiter>(cfg_, arbiter_policy);
+  for (std::uint32_t i = 0; i < cfg.num_task_graphs; ++i)
+    tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i, arbiter_.get()));
+}
+
+void NexusSharp::attach(Simulation& sim, RuntimeHost* host) {
+  NEXUS_ASSERT(host != nullptr);
+  host_ = host;
+  self_ = sim.add_component(this);
+  arbiter_->attach(sim, host);
+  for (auto& tg : tgs_) tg->attach(sim);
+}
+
+Tick NexusSharp::taskwait_on_query_cost() const {
+  return clk_.cycles(cfg_.taskwait_on_cycles);
+}
+
+Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
+  if (pool_.full()) {
+    master_blocked_ = true;
+    return kSubmitBlocked;
+  }
+  ++tasks_in_;
+  pool_.insert(task);
+
+  const auto nparams = static_cast<std::int64_t>(task.num_params());
+  const Tick recv_done = io_.acquire(
+      sim.now(), cycles(cfg_.header_cycles + cfg_.recv_per_param * nparams +
+                        cfg_.pool_write_cycles));
+  const Tick recv_start =
+      recv_done - cycles(cfg_.header_cycles + cfg_.recv_per_param * nparams +
+                         cfg_.pool_write_cycles);
+
+  // The Input Parser distributes each parameter the cycle it arrives
+  // (Section IV-B): parameter i is complete after the header plus i+1
+  // two-packet address transfers; it reaches its task graph's New Args
+  // buffer after the FIFO visibility latency.
+  const bool single = task.num_params() == 1;
+  for (std::size_t i = 0; i < task.num_params(); ++i) {
+    const Param& p = task.params[i];
+    const Tick arrival =
+        recv_start + cycles(cfg_.header_cycles +
+                            cfg_.recv_per_param * static_cast<std::int64_t>(i + 1));
+    detail::TaskGraphUnit::Arg arg;
+    arg.task = task.id;
+    arg.addr = p.addr;
+    arg.is_writer = is_write(p.dir);
+    arg.single_param = single;
+    sim.schedule(arrival + cycles(cfg_.fifo_latency),
+                 tgs_[distributor_.target(p.addr)]->component_id(),
+                 detail::TaskGraphUnit::kNewArg, detail::TaskGraphUnit::pack(arg),
+                 p.addr);
+  }
+
+  // IPf: descriptor committed to the Task Pool one cycle after the last
+  // parameter; the arbiter can conclude the task's gather from then on.
+  sim.schedule(recv_done, arbiter_->component_id(), detail::SharpArbiter::kMeta,
+               static_cast<std::uint64_t>(task.id) |
+                   (static_cast<std::uint64_t>(task.num_params()) << 32));
+  return recv_done;
+}
+
+Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
+  // Finish notification shares the Nexus IO / Input Parser with
+  // submissions; the parser then reads the task's I/O list from the Task
+  // Pool and redistributes it to the Finished Args buffers.
+  const TaskDescriptor& task = pool_.get(id);
+  const auto nparams = static_cast<std::int64_t>(task.num_params());
+  const Tick recv_done = io_.acquire(sim.now(), cycles(cfg_.finish_receive));
+  const Tick dist_done =
+      io_.acquire(recv_done, cycles(cfg_.pool_read_cycles +
+                                    cfg_.distribute_per_param * nparams));
+  const Tick dist_start =
+      dist_done -
+      cycles(cfg_.pool_read_cycles + cfg_.distribute_per_param * nparams);
+
+  for (std::size_t i = 0; i < task.num_params(); ++i) {
+    const Param& p = task.params[i];
+    const Tick arrival =
+        dist_start +
+        cycles(cfg_.pool_read_cycles +
+               cfg_.distribute_per_param * static_cast<std::int64_t>(i + 1));
+    detail::TaskGraphUnit::Arg arg;
+    arg.task = id;
+    arg.addr = p.addr;
+    arg.is_writer = is_write(p.dir);
+    sim.schedule(arrival + cycles(cfg_.fifo_latency),
+                 tgs_[distributor_.target(p.addr)]->component_id(),
+                 detail::TaskGraphUnit::kFinishedArg,
+                 detail::TaskGraphUnit::pack(arg), p.addr);
+  }
+  // The pool slot is reclaimable once the I/O list has been read out.
+  sim.schedule(dist_done, self_, kFinishDistributed, id);
+  return recv_done;  // the worker is free once the notification is accepted
+}
+
+void NexusSharp::handle(Simulation& sim, const Event& ev) {
+  switch (ev.op) {
+    case kFinishDistributed:
+      pool_.erase(static_cast<TaskId>(ev.a));
+      if (master_blocked_) {
+        master_blocked_ = false;
+        host_->master_resume(sim);
+      }
+      break;
+    default:
+      NEXUS_ASSERT_MSG(false, "unknown NexusSharp op");
+  }
+}
+
+NexusSharp::Stats NexusSharp::stats() const {
+  Stats s;
+  s.tasks_in = tasks_in_;
+  s.ready_out = arbiter_->ready_delivered();
+  s.pool_peak = pool_.peak();
+  s.sim_tasks_live = arbiter_->sim_tasks_live();
+  s.io_busy = io_.busy_time();
+  s.arbiter_busy = arbiter_->busy_time();
+  for (const auto& tg : tgs_) {
+    s.table_stalls += tg->table().total_stalls();
+    s.tg_busy.push_back(tg->busy_time());
+    s.tg_args.push_back(tg->args_processed());
+  }
+  return s;
+}
+
+}  // namespace nexus

@@ -1,0 +1,88 @@
+// One distributed task graph of Nexus# (Fig. 2).
+//
+// Each unit owns a Nexus++-style set-associative table and serves two input
+// streams: New Args (parameter insertions) and Finished Args (releases).
+// Finished args are served first — they free table space and unblock a
+// stalled insertion, which also makes the stall handling deadlock-free.
+// Results flow to the Dependence Counts Arbiter through the unit's Ready
+// Tasks / Dep. Counts / Waiting Tasks buffers (modelled as the arbiter's
+// input queues plus the FIFO visibility latency).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nexus/hw/task_graph_table.hpp"
+#include "nexus/nexussharp/arbiter.hpp"
+#include "nexus/nexussharp/config.hpp"
+#include "nexus/sim/simulation.hpp"
+
+namespace nexus::detail {
+
+class TaskGraphUnit final : public Component {
+ public:
+  TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
+                SharpArbiter* arbiter);
+
+  void attach(Simulation& sim);
+
+  /// Component id for event addressing (valid after attach).
+  [[nodiscard]] std::uint32_t component_id() const { return self_; }
+
+  /// One entry of a New Args / Finished Args buffer.
+  struct Arg {
+    TaskId task = kInvalidTask;
+    Addr addr = 0;
+    bool is_writer = false;
+    bool single_param = false;  ///< task has exactly one parameter
+  };
+
+  enum Op : std::uint32_t {
+    kNewArg = 0,       ///< a = packed arg meta, b = addr
+    kFinishedArg = 1,  ///< a = packed arg meta, b = addr
+    kPump = 2,
+  };
+
+  static std::uint64_t pack(const Arg& a);
+  static Arg unpack(std::uint64_t meta, Addr addr);
+
+  void handle(Simulation& sim, const Event& ev) override;
+
+  // --- stats ---
+  [[nodiscard]] const hw::TaskGraphTable& table() const { return table_; }
+  [[nodiscard]] Tick busy_time() const { return busy_; }
+  [[nodiscard]] std::uint64_t args_processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t peak_queue() const { return peak_queue_; }
+  [[nodiscard]] bool idle() const {
+    return new_q_.empty() && fin_q_.empty() && !stalled_;
+  }
+
+ private:
+  [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
+  void pump(Simulation& sim);
+  /// Serve one finished arg (returns service cost).
+  Tick serve_finished(Simulation& sim, const Arg& a);
+  /// Try to serve the head new arg; false if stalled on table space.
+  bool serve_new(Simulation& sim, Tick* cost);
+
+  const NexusSharpConfig& cfg_;
+  std::uint32_t index_;
+  SharpArbiter* arbiter_;
+  ClockDomain clk_;
+  std::uint32_t self_ = 0;
+
+  hw::TaskGraphTable table_;
+  std::deque<Arg> new_q_;
+  std::deque<Arg> fin_q_;
+  bool stalled_ = false;  ///< head new-arg is waiting for table space
+  Tick port_free_ = 0;
+  bool pump_pending_ = false;
+
+  std::vector<hw::Waiter> kicked_scratch_;
+  Tick busy_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t peak_queue_ = 0;
+};
+
+}  // namespace nexus::detail

@@ -1,0 +1,23 @@
+#include "nexus/runtime/ideal_manager.hpp"
+
+namespace nexus {
+
+void IdealManager::attach(Simulation& /*sim*/, RuntimeHost* host) {
+  NEXUS_ASSERT(host != nullptr);
+  host_ = host;
+  tracker_ = DependencyTracker{};
+}
+
+Tick IdealManager::submit(Simulation& sim, const TaskDescriptor& task) {
+  if (tracker_.submit(task) == 0) host_->task_ready(sim, task.id);
+  return sim.now();
+}
+
+Tick IdealManager::notify_finished(Simulation& sim, TaskId id) {
+  ready_scratch_.clear();
+  tracker_.finish(id, &ready_scratch_);
+  for (const TaskId t : ready_scratch_) host_->task_ready(sim, t);
+  return sim.now();
+}
+
+}  // namespace nexus

@@ -1,0 +1,24 @@
+// Stand-alone zero-overhead list scheduler.
+//
+// Computes the no-overhead makespan of a trace on P workers with an
+// implementation independent of the DES driver: a plain timestamped
+// occurrence loop. Used (a) as the oracle the DES + IdealManager pair must
+// match exactly, and (b) as a fast path for ideal curves in the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/task/trace.hpp"
+
+namespace nexus {
+
+/// Makespan of `trace` on `workers` cores with instantaneous dependency
+/// resolution, FIFO-by-readiness dispatch and lowest-index-first workers
+/// (the same deterministic policy as the DES driver).
+Tick list_schedule_makespan(const Trace& trace, std::uint32_t workers);
+
+/// Length of the trace's critical path (infinite workers): the asymptote of
+/// every ideal curve.
+Tick critical_path(const Trace& trace);
+
+}  // namespace nexus

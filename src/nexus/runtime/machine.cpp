@@ -1,0 +1,34 @@
+#include "nexus/runtime/machine.hpp"
+
+namespace nexus {
+
+WorkerPool::WorkerPool(std::uint32_t n)
+    : busy_until_(n, 0), is_free_(n, true) {
+  NEXUS_ASSERT_MSG(n > 0, "need at least one worker");
+  free_.reserve(n);
+  // Claim lowest-numbered workers first (deterministic dispatch order).
+  for (std::uint32_t i = n; i > 0; --i) free_.push_back(i - 1);
+}
+
+std::uint32_t WorkerPool::claim() {
+  NEXUS_ASSERT_MSG(!free_.empty(), "claim with no free worker");
+  const std::uint32_t w = free_.back();
+  free_.pop_back();
+  is_free_[w] = false;
+  return w;
+}
+
+void WorkerPool::occupy(std::uint32_t w, Tick start, Tick end) {
+  NEXUS_ASSERT(w < size() && !is_free_[w]);
+  NEXUS_ASSERT(end >= start);
+  busy_until_[w] = end;
+  total_busy_ += end - start;
+}
+
+void WorkerPool::release(std::uint32_t w) {
+  NEXUS_ASSERT(w < size() && !is_free_[w]);
+  is_free_[w] = true;
+  free_.push_back(w);
+}
+
+}  // namespace nexus

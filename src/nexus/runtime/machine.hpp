@@ -1,0 +1,44 @@
+// Worker-core bookkeeping for the host machine model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nexus/common/assert.hpp"
+#include "nexus/sim/time.hpp"
+
+namespace nexus {
+
+/// A pool of identical worker cores. Tracks which are free and accumulates
+/// per-core busy time for utilization reporting.
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(busy_until_.size());
+  }
+  [[nodiscard]] bool any_free() const { return !free_.empty(); }
+  [[nodiscard]] std::uint32_t num_free() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+
+  /// Claim a free worker. Caller must check any_free().
+  std::uint32_t claim();
+
+  /// Record that `w` executes for [start, end) and stays reserved.
+  void occupy(std::uint32_t w, Tick start, Tick end);
+
+  /// Release `w` back to the free list.
+  void release(std::uint32_t w);
+
+  [[nodiscard]] Tick total_busy() const { return total_busy_; }
+
+ private:
+  std::vector<Tick> busy_until_;
+  std::vector<std::uint32_t> free_;
+  std::vector<bool> is_free_;
+  Tick total_busy_ = 0;
+};
+
+}  // namespace nexus

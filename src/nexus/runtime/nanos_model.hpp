@@ -1,0 +1,68 @@
+// Calibrated cost model of the Nanos software runtime (the OmpSs RTS).
+//
+// The paper's baseline curves come from real Nanos runs on a 40-core Xeon.
+// We model the runtime costs that dominate them: per-task creation and
+// dependence-graph insertion on the submitting thread, plus a single global
+// runtime lock serializing the scheduler and completion critical sections.
+// The lock is a DES server, so convoying at high core counts — the reason
+// Nanos's rot-cc curve flattens around 24x and h264dec-1x1 never reaches 1x —
+// emerges from queueing rather than being scripted.
+//
+// Constants are calibrated once against the paper's Table IV (see DESIGN.md
+// §4 and the fig8 bench) and frozen here. Vandierendonck et al. [17] put the
+// floor for software dependence tracking at ~400 cycles/task in the ideal
+// case; real Nanos per-task costs on the paper's machine are several us.
+#pragma once
+
+#include <vector>
+
+#include "nexus/depgraph/dependency_tracker.hpp"
+#include "nexus/runtime/manager.hpp"
+#include "nexus/sim/server.hpp"
+
+namespace nexus {
+
+// Defaults calibrated against Table IV (see EXPERIMENTS.md): the master-side
+// costs pin Nanos's h264dec-1x1 ceiling near the paper's 0.7x (creation +
+// ~5 dependence insertions exceed the 4.6 us task), while the lock critical
+// sections reproduce the plateau/decline of the coarse-grained rows.
+struct NanosConfig {
+  Tick create_cost = us(1.8);        ///< task creation, on master, no lock
+  Tick insert_per_param = us(0.9);   ///< dependence insertion, under lock
+  Tick dispatch_cs = us(4.0);        ///< scheduler pop, under lock, on worker
+  Tick finish_cs = us(4.0);          ///< completion + release, under lock
+  Tick barrier_wake = us(2.0);       ///< taskwait wake-up cost
+};
+
+class NanosModel final : public TaskManagerModel, public Component {
+ public:
+  explicit NanosModel(const NanosConfig& cfg = {}) : cfg_(cfg) {}
+
+  // TaskManagerModel
+  void attach(Simulation& sim, RuntimeHost* host) override;
+  Tick submit(Simulation& sim, const TaskDescriptor& task) override;
+  Tick notify_finished(Simulation& sim, TaskId id) override;
+  Tick dispatch_time(Simulation& sim) override;
+  [[nodiscard]] Tick taskwait_on_query_cost() const override {
+    return cfg_.barrier_wake;
+  }
+  [[nodiscard]] const char* name() const override { return "nanos"; }
+
+  // Component: deferred ready-task delivery at lock-release times.
+  void handle(Simulation& sim, const Event& ev) override;
+
+  /// Runtime-lock occupancy statistics (for tests and the contention bench).
+  [[nodiscard]] const Server& lock() const { return lock_; }
+
+ private:
+  enum Op : std::uint32_t { kDeliverReady = 0 };
+
+  NanosConfig cfg_;
+  RuntimeHost* host_ = nullptr;
+  std::uint32_t self_ = 0;
+  DependencyTracker tracker_;
+  Server lock_;
+  std::vector<TaskId> ready_scratch_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,31 @@
+// Schedule validation: checks that an executed schedule respects a trace's
+// dependency semantics (RAW/WAR/WAW per address, reader-group concurrency,
+// taskwait fences and taskwait_on producer fences).
+//
+// This is the library-level oracle behind the hardware-manager integration
+// tests, and a tool for downstream users plugging in their own manager
+// models: whatever cycle model a manager implements, the schedule it
+// produces must be a legal execution of the trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/task/trace.hpp"
+
+namespace nexus {
+
+/// Returns true iff `schedule` is a legal execution of `trace`:
+///  - every task runs exactly once, for exactly its duration,
+///  - no two tasks overlap on one worker,
+///  - every task starts only after its dependences (per-address hazard
+///    ordering in submission order) and after any barrier fence,
+///  - taskwait_on fences at least the producer of the named address
+///    (the weakest semantics any conforming manager must provide; a
+///    full-barrier fallback is strictly stronger and also passes).
+/// On failure, *error describes the first violation found.
+bool validate_schedule(const Trace& trace, const std::vector<ScheduleEntry>& schedule,
+                       std::string* error = nullptr);
+
+}  // namespace nexus

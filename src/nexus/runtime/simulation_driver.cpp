@@ -1,0 +1,204 @@
+#include "nexus/runtime/simulation_driver.hpp"
+
+namespace nexus {
+
+RunResult run_trace(const Trace& trace, TaskManagerModel& manager,
+                    const RuntimeConfig& config) {
+  detail::Driver driver(trace, manager, config);
+  return driver.run();
+}
+
+namespace detail {
+
+Driver::Driver(const Trace& trace, TaskManagerModel& manager,
+               const RuntimeConfig& config)
+    : trace_(trace),
+      manager_(manager),
+      config_(config),
+      workers_(config.workers),
+      finished_(trace.num_tasks(), false) {
+  self_ = sim_.add_component(this);
+  manager_.attach(sim_, this);
+}
+
+RunResult Driver::run() {
+  NEXUS_ASSERT_MSG(trace_.num_tasks() > 0, "empty trace");
+  sim_.schedule(0, self_, kMasterStep);
+  sim_.run();
+  NEXUS_ASSERT_MSG(master_ == MasterState::kDone, "master did not finish");
+  NEXUS_ASSERT_MSG(outstanding_ == 0, "tasks left outstanding");
+  NEXUS_ASSERT_MSG(finished_count_ == trace_.num_tasks(), "tasks never ran");
+
+  RunResult r;
+  r.makespan = last_activity_;
+  r.total_work = trace_.total_work();
+  r.tasks = trace_.num_tasks();
+  r.events = sim_.events_processed();
+  r.manager = manager_.name();
+  if (r.makespan > 0) {
+    r.utilization = static_cast<double>(workers_.total_busy()) /
+                    (static_cast<double>(r.makespan) * workers_.size());
+  }
+  return r;
+}
+
+void Driver::handle(Simulation& sim, const Event& ev) {
+  switch (ev.op) {
+    case kMasterStep:
+      master_step(sim);
+      break;
+    case kTaskDone:
+      on_task_done(sim, static_cast<std::uint32_t>(ev.a), static_cast<TaskId>(ev.b));
+      break;
+    case kWorkerFree:
+      workers_.release(static_cast<std::uint32_t>(ev.a));
+      try_dispatch(sim);
+      break;
+    default:
+      NEXUS_ASSERT_MSG(false, "unknown driver op");
+  }
+}
+
+void Driver::master_step(Simulation& sim) {
+  // Process consecutive trace events inline while they complete instantly;
+  // this collapses millions of zero-cost submissions (ideal manager) into a
+  // single event.
+  while (master_ == MasterState::kRunning) {
+    if (next_event_ >= trace_.events().size()) {
+      master_ = MasterState::kDone;
+      if (outstanding_ == 0 && last_activity_ < sim.now()) last_activity_ = sim.now();
+      return;
+    }
+    const TraceEvent& ev = trace_.events()[next_event_];
+    switch (ev.op) {
+      case TraceOp::kSubmit: {
+        const TaskDescriptor& task = trace_.task(ev.task);
+        const Tick resume = manager_.submit(sim, task);
+        if (resume == kSubmitBlocked) {
+          master_ = MasterState::kBlockedOnPool;
+          return;  // manager will call master_resume
+        }
+        NEXUS_ASSERT(resume >= sim.now());
+        ++next_event_;
+        ++outstanding_;
+        for (const auto& p : task.params)
+          if (is_write(p.dir)) last_writer_[p.addr] = task.id;
+        const Tick cont = resume + config_.master_event_cost + config_.host_message_cost;
+        if (cont > sim.now()) {
+          sim.schedule(cont, self_, kMasterStep);
+          return;
+        }
+        break;  // zero-cost: continue inline
+      }
+      case TraceOp::kTaskwait: {
+        ++next_event_;
+        if (outstanding_ > 0) {
+          master_ = MasterState::kBlockedOnBarrier;
+          return;  // resumed by on_task_done
+        }
+        break;
+      }
+      case TraceOp::kTaskwaitOn: {
+        if (!manager_.supports_taskwait_on()) {
+          // Fallback used for Nexus++ (Section III): treat as full barrier.
+          ++next_event_;
+          if (outstanding_ > 0) {
+            master_ = MasterState::kBlockedOnBarrier;
+            return;
+          }
+          break;
+        }
+        ++next_event_;
+        const auto it = last_writer_.find(ev.addr);
+        const bool pending =
+            it != last_writer_.end() && !finished_[it->second];
+        const Tick query = manager_.taskwait_on_query_cost() + config_.host_message_cost;
+        if (pending) {
+          master_ = MasterState::kBlockedOnTask;
+          master_wait_task_ = it->second;
+          return;  // resumed by on_task_done
+        }
+        if (query > 0) {
+          sim.schedule(sim.now() + query, self_, kMasterStep);
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Driver::task_ready(Simulation& sim, TaskId id) {
+  NEXUS_DCHECK(id < trace_.num_tasks());
+  ready_queue_.push_back(id);
+  try_dispatch(sim);
+}
+
+void Driver::master_resume(Simulation& sim) {
+  NEXUS_ASSERT(master_ == MasterState::kBlockedOnPool);
+  master_ = MasterState::kRunning;
+  master_step(sim);
+}
+
+void Driver::try_dispatch(Simulation& sim) {
+  while (workers_.any_free() && !ready_queue_.empty()) {
+    const TaskId id = ready_queue_.front();
+    ready_queue_.pop_front();
+    const std::uint32_t w = workers_.claim();
+    // dispatch_time models the scheduler critical section (software) or the
+    // ready-queue fetch (hardware); the worker is reserved from now.
+    const Tick start =
+        manager_.dispatch_time(sim) + config_.host_message_cost;
+    NEXUS_ASSERT(start >= sim.now());
+    const Tick end = start + trace_.task(id).duration;
+    workers_.occupy(w, sim.now(), end);
+    if (config_.schedule_out != nullptr)
+      config_.schedule_out->push_back(ScheduleEntry{id, w, start, end});
+    sim.schedule(end, self_, kTaskDone, w, id);
+  }
+}
+
+void Driver::on_task_done(Simulation& sim, std::uint32_t worker, TaskId id) {
+  NEXUS_ASSERT(!finished_[id]);
+  finished_[id] = true;
+  ++finished_count_;
+  NEXUS_ASSERT(outstanding_ > 0);
+  --outstanding_;
+  last_activity_ = sim.now();
+
+  // The completion path (software: completion critical section on this
+  // worker; hardware: finish notification write) holds the worker until
+  // `free_at`.
+  const Tick free_at = manager_.notify_finished(sim, id) + config_.host_message_cost;
+  NEXUS_ASSERT(free_at >= sim.now());
+  if (free_at == sim.now()) {
+    workers_.release(worker);
+    try_dispatch(sim);
+  } else {
+    sim.schedule(free_at, self_, kWorkerFree, worker);
+  }
+
+  finish_barrier_checks(sim);
+}
+
+void Driver::finish_barrier_checks(Simulation& sim) {
+  // master_step is safe against spurious wake-ups (it no-ops unless the
+  // master is in kRunning), so resuming just flips the state and steps.
+  if (master_ == MasterState::kBlockedOnBarrier && outstanding_ == 0) {
+    master_ = MasterState::kRunning;
+    master_step(sim);
+  } else if (master_ == MasterState::kBlockedOnTask &&
+             finished_[master_wait_task_]) {
+    master_wait_task_ = kInvalidTask;
+    master_ = MasterState::kRunning;
+    const Tick query = manager_.taskwait_on_query_cost() + config_.host_message_cost;
+    if (query > 0) {
+      sim.schedule(sim.now() + query, self_, kMasterStep);
+    } else {
+      master_step(sim);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace nexus

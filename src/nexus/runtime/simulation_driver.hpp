@@ -1,0 +1,124 @@
+// Trace-driven host-machine simulation (the paper's testbench, Section V-B):
+// "It submits new tasks to Nexus#, receives ready task information from it,
+// schedules ready tasks to worker cores and simulates their execution, and
+// finally notifies Nexus# of finished tasks."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nexus/runtime/machine.hpp"
+#include "nexus/runtime/manager.hpp"
+#include "nexus/sim/simulation.hpp"
+#include "nexus/task/trace.hpp"
+
+namespace nexus {
+
+/// One executed task interval, for schedule validation and visualization.
+struct ScheduleEntry {
+  TaskId task = kInvalidTask;
+  std::uint32_t worker = 0;
+  Tick start = 0;
+  Tick end = 0;
+};
+
+struct RuntimeConfig {
+  std::uint32_t workers = 1;
+
+  /// Fixed master-side cost per trace event outside the manager (models the
+  /// user code between pragmas; 0 = pure trace replay as in the paper).
+  Tick master_event_cost = 0;
+
+  /// Host-interface sensitivity knob: extra cost added to every
+  /// master<->manager message (submission, ready fetch, finish notify).
+  /// 0 reproduces the paper's "Nexus# only" mode, where no communication
+  /// overhead is accounted; nonzero values emulate a driver/PCIe stack as
+  /// in the Nexus++ integration paper [11]. See DESIGN.md §5.
+  Tick host_message_cost = 0;
+
+  /// If nonnull, every executed task interval is appended (tests validate
+  /// that no dependency or hazard is violated by a manager's schedule).
+  std::vector<ScheduleEntry>* schedule_out = nullptr;
+};
+
+struct RunResult {
+  Tick makespan = 0;
+  Tick total_work = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t events = 0;       ///< DES events processed
+  double utilization = 0.0;       ///< worker busy time / (makespan * workers)
+  std::string manager;
+
+  /// Speedup relative to a given single-core baseline time.
+  [[nodiscard]] double speedup_vs(Tick baseline) const {
+    return makespan > 0 ? static_cast<double>(baseline) / static_cast<double>(makespan)
+                        : 0.0;
+  }
+};
+
+/// Run `trace` on `workers` cores with the given task manager model.
+/// Deterministic: identical inputs give identical results.
+RunResult run_trace(const Trace& trace, TaskManagerModel& manager,
+                    const RuntimeConfig& config);
+
+namespace detail {
+
+/// The DES component implementing the master thread, dispatcher and workers.
+class Driver final : public Component, public RuntimeHost {
+ public:
+  Driver(const Trace& trace, TaskManagerModel& manager, const RuntimeConfig& config);
+
+  RunResult run();
+
+  // Component
+  void handle(Simulation& sim, const Event& ev) override;
+
+  // RuntimeHost
+  void task_ready(Simulation& sim, TaskId id) override;
+  void master_resume(Simulation& sim) override;
+
+ private:
+  enum Op : std::uint32_t {
+    kMasterStep = 0,
+    kTaskDone = 1,    ///< a = worker, b = task
+    kWorkerFree = 2,  ///< a = worker
+  };
+
+  enum class MasterState : std::uint8_t {
+    kRunning,
+    kBlockedOnPool,     ///< manager returned kSubmitBlocked
+    kBlockedOnBarrier,  ///< taskwait
+    kBlockedOnTask,     ///< taskwait_on
+    kDone,
+  };
+
+  void master_step(Simulation& sim);
+  void try_dispatch(Simulation& sim);
+  void on_task_done(Simulation& sim, std::uint32_t worker, TaskId id);
+  void finish_barrier_checks(Simulation& sim);
+
+  const Trace& trace_;
+  TaskManagerModel& manager_;
+  RuntimeConfig config_;
+
+  Simulation sim_;
+  std::uint32_t self_ = 0;
+
+  WorkerPool workers_;
+  std::deque<TaskId> ready_queue_;
+  std::vector<bool> finished_;
+  std::unordered_map<Addr, TaskId> last_writer_;  ///< as of master progress
+
+  std::size_t next_event_ = 0;  ///< index into trace_.events()
+  MasterState master_ = MasterState::kRunning;
+  TaskId master_wait_task_ = kInvalidTask;
+  std::uint64_t outstanding_ = 0;  ///< submitted but not finished
+  std::uint64_t finished_count_ = 0;
+  Tick last_activity_ = 0;
+};
+
+}  // namespace detail
+}  // namespace nexus

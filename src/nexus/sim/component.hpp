@@ -1,0 +1,17 @@
+#pragma once
+
+#include "nexus/sim/event.hpp"
+
+namespace nexus {
+
+class Simulation;
+
+/// A simulation component receives the events addressed to it.
+/// Components are registered with the Simulation, which assigns their id.
+class Component {
+ public:
+  virtual ~Component() = default;
+  virtual void handle(Simulation& sim, const Event& ev) = 0;
+};
+
+}  // namespace nexus

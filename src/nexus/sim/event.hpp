@@ -1,0 +1,33 @@
+// POD simulation event.
+//
+// Events carry a destination component, an opcode interpreted by that
+// component, and two 64-bit payload words (task ids, addresses, indices).
+// Keeping events POD — no std::function — is what lets the simulator process
+// tens of millions of events per second on one core, which the full Fig. 7/8
+// sweeps need.
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/sim/time.hpp"
+
+namespace nexus {
+
+struct Event {
+  Tick t = 0;
+  std::uint64_t seq = 0;  ///< global issue order; breaks time ties deterministically
+  std::uint32_t comp = 0;
+  std::uint32_t op = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Min-heap ordering: earliest time first, then issue order.
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.t != y.t) return x.t > y.t;
+    return x.seq > y.seq;
+  }
+};
+
+}  // namespace nexus

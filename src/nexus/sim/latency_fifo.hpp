@@ -1,0 +1,55 @@
+// Bounded FIFO with write-to-read latency.
+//
+// The paper's buffers (New Args, Finished Args, Ready Tasks, Dep Counts,
+// Waiting Tasks, Internal Ready Tasks) are hardware FIFOs whose data "needs
+// 3 cycles to appear at their output" (Section IV-D). This model tracks, per
+// item, the time at which it becomes visible to the consumer, and enforces a
+// physical depth so producers observe backpressure.
+#pragma once
+
+#include <cstddef>
+
+#include "nexus/common/fixed_ring.hpp"
+#include "nexus/sim/time.hpp"
+
+namespace nexus {
+
+template <typename T>
+class LatencyFifo {
+ public:
+  LatencyFifo(std::size_t depth, Tick latency)
+      : ring_(depth), latency_(latency) {}
+
+  [[nodiscard]] bool full() const { return ring_.full(); }
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t depth() const { return ring_.capacity(); }
+  [[nodiscard]] Tick latency() const { return latency_; }
+
+  /// Push at time `now`. Caller must check !full().
+  void push(Tick now, T v) { ring_.push(Entry{now + latency_, std::move(v)}); }
+
+  /// Time at which the front item can be consumed (kTickInfinity if empty).
+  [[nodiscard]] Tick front_ready_at() const {
+    return ring_.empty() ? kTickInfinity : ring_.front().visible_at;
+  }
+
+  /// True if the front item is consumable at `now`.
+  [[nodiscard]] bool front_ready(Tick now) const {
+    return !ring_.empty() && ring_.front().visible_at <= now;
+  }
+
+  [[nodiscard]] const T& front() const { return ring_.front().value; }
+
+  T pop() { return ring_.pop().value; }
+
+ private:
+  struct Entry {
+    Tick visible_at;
+    T value;
+  };
+  FixedRing<Entry> ring_;
+  Tick latency_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,43 @@
+#include "nexus/sim/simulation.hpp"
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus {
+
+std::uint32_t Simulation::add_component(Component* c) {
+  NEXUS_ASSERT(c != nullptr);
+  components_.push_back(c);
+  return static_cast<std::uint32_t>(components_.size() - 1);
+}
+
+void Simulation::schedule(Tick t, std::uint32_t comp, std::uint32_t op,
+                          std::uint64_t a, std::uint64_t b) {
+  NEXUS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  NEXUS_ASSERT_MSG(comp < components_.size(), "unknown component id");
+  queue_.push(Event{t, seq_++, comp, op, a, b});
+}
+
+void Simulation::run() {
+  while (!queue_.empty() && !stopped_) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    components_[ev.comp]->handle(*this, ev);
+  }
+}
+
+bool Simulation::run_some(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_ && n < max_events) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++processed_;
+    ++n;
+    components_[ev.comp]->handle(*this, ev);
+  }
+  return !queue_.empty() && !stopped_;
+}
+
+}  // namespace nexus

@@ -1,0 +1,50 @@
+// Deterministic discrete-event simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "nexus/sim/component.hpp"
+#include "nexus/sim/event.hpp"
+
+namespace nexus {
+
+class Simulation {
+ public:
+  /// Register a component; returns its id for event addressing.
+  /// The component must outlive the simulation. Not owned.
+  std::uint32_t add_component(Component* c);
+
+  /// Schedule an event at absolute time t (must be >= now()).
+  void schedule(Tick t, std::uint32_t comp, std::uint32_t op, std::uint64_t a = 0,
+                std::uint64_t b = 0);
+
+  /// Schedule an event `delay` after now().
+  void schedule_in(Tick delay, std::uint32_t comp, std::uint32_t op,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+    schedule(now_ + delay, comp, op, a, b);
+  }
+
+  /// Run until the event queue drains (or a component calls stop()).
+  void run();
+
+  /// Run at most `max_events` more events; returns false if the queue drained.
+  bool run_some(std::uint64_t max_events);
+
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] Tick now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Component*> components_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace nexus

@@ -1,0 +1,61 @@
+// Simulated time.
+//
+// All simulation timestamps are integer picoseconds. Integer time makes the
+// simulation exactly deterministic (no float drift across platforms) and
+// picosecond resolution represents both domains that coexist in the model:
+// manager clock cycles (10-24 ns at 41-114 MHz) and task durations
+// (sub-microsecond Gaussian tasks up to multi-millisecond c-ray tasks).
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus {
+
+using Tick = std::int64_t;  ///< picoseconds
+
+constexpr Tick kTickInfinity = INT64_MAX / 4;  // headroom so sums never overflow
+
+constexpr Tick ps(double v) { return static_cast<Tick>(v); }
+constexpr Tick ns(double v) { return static_cast<Tick>(v * 1e3); }
+constexpr Tick us(double v) { return static_cast<Tick>(v * 1e6); }
+constexpr Tick ms(double v) { return static_cast<Tick>(v * 1e9); }
+constexpr Tick seconds(double v) { return static_cast<Tick>(v * 1e12); }
+
+constexpr double to_ns(Tick t) { return static_cast<double>(t) * 1e-3; }
+constexpr double to_us(Tick t) { return static_cast<double>(t) * 1e-6; }
+constexpr double to_ms(Tick t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_seconds(Tick t) { return static_cast<double>(t) * 1e-12; }
+
+/// A clock domain at a fixed frequency; converts cycle counts to Ticks.
+class ClockDomain {
+ public:
+  ClockDomain() : period_ps_(10000) {}  // default 100 MHz
+  explicit ClockDomain(double mhz)
+      : period_ps_(static_cast<Tick>(1e6 / mhz + 0.5)) {
+    NEXUS_ASSERT_MSG(mhz > 0.0, "frequency must be positive");
+  }
+
+  [[nodiscard]] Tick period() const { return period_ps_; }
+  [[nodiscard]] double mhz() const { return 1e6 / static_cast<double>(period_ps_); }
+
+  /// Duration of n cycles.
+  [[nodiscard]] Tick cycles(std::int64_t n) const { return n * period_ps_; }
+
+  /// Number of whole cycles elapsed in a duration (floor).
+  [[nodiscard]] std::int64_t cycles_in(Tick duration) const {
+    return duration / period_ps_;
+  }
+
+  /// The first clock edge at or after t.
+  [[nodiscard]] Tick edge_at_or_after(Tick t) const {
+    const Tick rem = t % period_ps_;
+    return rem == 0 ? t : t + (period_ps_ - rem);
+  }
+
+ private:
+  Tick period_ps_;
+};
+
+}  // namespace nexus

@@ -1,0 +1,63 @@
+// Task descriptors: the unit of work handed to a task manager.
+//
+// A task mirrors an OmpSs task instance: a function identifier, a list of
+// parameters (48-bit memory addresses tagged in/out/inout — the memory
+// footprint the pragma declares), and an execution duration taken from the
+// workload trace. Descriptors are trivially copyable and compact because the
+// hardware models stream them through bounded queues by value.
+#pragma once
+
+#include <cstdint>
+
+#include "nexus/common/assert.hpp"
+#include "nexus/common/inline_vec.hpp"
+#include "nexus/sim/time.hpp"
+
+namespace nexus {
+
+using TaskId = std::uint32_t;
+constexpr TaskId kInvalidTask = ~0u;
+
+/// 48-bit memory addresses, as transmitted over the paper's PCIe-style
+/// interface (two 32-bit packets per address).
+using Addr = std::uint64_t;
+constexpr Addr kAddrMask = (1ULL << 48) - 1;
+
+/// Parameter direction from the OmpSs pragma.
+enum class Dir : std::uint8_t {
+  kIn = 0,    ///< input(...)  — read
+  kOut = 1,   ///< output(...) — write
+  kInOut = 2  ///< inout(...)  — read-modify-write
+};
+
+constexpr bool is_write(Dir d) { return d != Dir::kIn; }
+
+/// One entry of a task's input/output list.
+struct Param {
+  Addr addr = 0;
+  Dir dir = Dir::kIn;
+
+  friend bool operator==(const Param&, const Param&) = default;
+};
+
+/// Maximum parameters per task. The paper's benchmarks use 1-6 (h264dec);
+/// the hardware models also rely on this bound for their buffer sizing.
+constexpr std::size_t kMaxParams = 6;
+
+using ParamList = InlineVec<Param, kMaxParams>;
+
+struct TaskDescriptor {
+  TaskId id = kInvalidTask;
+  std::uint32_t fn = 0;       ///< function-pointer identifier
+  Tick duration = 0;          ///< execution time on a worker core
+  ParamList params;
+
+  [[nodiscard]] std::size_t num_params() const { return params.size(); }
+};
+
+/// Validate a descriptor: at least one parameter, masked addresses, and no
+/// duplicate address within one task (OmpSs merges duplicate footprints; the
+/// generators never emit them and the hardware models assume it).
+bool validate_task(const TaskDescriptor& t);
+
+}  // namespace nexus

@@ -1,0 +1,65 @@
+#include "nexus/task/trace.hpp"
+
+#include <unordered_set>
+
+namespace nexus {
+
+TaskId Trace::submit(std::uint32_t fn, Tick duration, const ParamList& params) {
+  const auto id = static_cast<TaskId>(tasks_.size());
+  TaskDescriptor t;
+  t.id = id;
+  t.fn = fn;
+  t.duration = duration;
+  t.params = params;
+  NEXUS_ASSERT_MSG(validate_task(t), "invalid task descriptor");
+  tasks_.push_back(t);
+  events_.push_back(TraceEvent{TraceOp::kSubmit, id, 0});
+  return id;
+}
+
+void Trace::taskwait() { events_.push_back(TraceEvent{TraceOp::kTaskwait, kInvalidTask, 0}); }
+
+void Trace::taskwait_on(Addr addr) {
+  events_.push_back(TraceEvent{TraceOp::kTaskwaitOn, kInvalidTask, addr & kAddrMask});
+}
+
+Tick Trace::total_work() const {
+  Tick sum = 0;
+  for (const auto& t : tasks_) sum += t.duration;
+  return sum;
+}
+
+bool Trace::validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<bool> seen(tasks_.size(), false);
+  std::unordered_set<Addr> written;
+  std::size_t submits = 0;
+  for (const auto& ev : events_) {
+    switch (ev.op) {
+      case TraceOp::kSubmit: {
+        if (ev.task >= tasks_.size()) return fail("submit of unknown task");
+        if (seen[ev.task]) return fail("task submitted twice");
+        seen[ev.task] = true;
+        ++submits;
+        const auto& t = tasks_[ev.task];
+        if (!validate_task(t)) return fail("invalid task descriptor");
+        for (const auto& p : t.params)
+          if (is_write(p.dir)) written.insert(p.addr);
+        break;
+      }
+      case TraceOp::kTaskwait:
+        break;
+      case TraceOp::kTaskwaitOn:
+        if (written.find(ev.addr) == written.end())
+          return fail("taskwait_on address never written");
+        break;
+    }
+  }
+  if (submits != tasks_.size()) return fail("not all tasks submitted");
+  return true;
+}
+
+}  // namespace nexus

@@ -1,0 +1,78 @@
+// A trace is the master thread's recorded behaviour: an ordered stream of
+// task submissions and barrier pragmas, plus the task descriptors themselves.
+//
+// This mirrors the paper's evaluation method (Section V-B): traces collected
+// from benchmark runs are replayed against the simulated task managers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/task/task.hpp"
+
+namespace nexus {
+
+enum class TraceOp : std::uint8_t {
+  kSubmit = 0,      ///< submit task (payload: task id)
+  kTaskwait = 1,    ///< #pragma omp taskwait — wait for all submitted tasks
+  kTaskwaitOn = 2,  ///< #pragma omp taskwait on(addr) — wait for addr's producer
+};
+
+struct TraceEvent {
+  TraceOp op = TraceOp::kSubmit;
+  TaskId task = kInvalidTask;  ///< for kSubmit
+  Addr addr = 0;               ///< for kTaskwaitOn
+};
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Append a task submission; assigns and returns the task id.
+  TaskId submit(std::uint32_t fn, Tick duration, const ParamList& params);
+
+  void taskwait();
+  void taskwait_on(Addr addr);
+
+  /// Patch a task's duration after submission. Generators build the trace
+  /// structure first, then assign durations rescaled to an exact total.
+  void set_duration(TaskId id, Tick d) {
+    NEXUS_DCHECK(id < tasks_.size());
+    NEXUS_ASSERT_MSG(d > 0, "duration must be positive");
+    tasks_[id].duration = d;
+  }
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+  [[nodiscard]] const TaskDescriptor& task(TaskId id) const {
+    NEXUS_DCHECK(id < tasks_.size());
+    return tasks_[id];
+  }
+  [[nodiscard]] const std::vector<TaskDescriptor>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Total execution time over all tasks.
+  [[nodiscard]] Tick total_work() const;
+
+  /// Structural validation: every task valid, submit events reference
+  /// existing tasks exactly once each, taskwait_on addresses were written by
+  /// some previously submitted task.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
+
+  void reserve(std::size_t n_tasks) {
+    tasks_.reserve(n_tasks);
+    events_.reserve(n_tasks + n_tasks / 16 + 8);
+  }
+
+ private:
+  std::string name_;
+  std::vector<TaskDescriptor> tasks_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace nexus

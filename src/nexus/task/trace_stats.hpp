@@ -1,0 +1,28 @@
+// Trace statistics: the columns of the paper's Table II.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "nexus/task/trace.hpp"
+
+namespace nexus {
+
+struct TraceStats {
+  std::uint64_t num_tasks = 0;
+  Tick total_work = 0;
+  Tick avg_task = 0;
+  std::size_t min_params = 0;
+  std::size_t max_params = 0;
+  std::uint64_t num_taskwaits = 0;
+  std::uint64_t num_taskwait_ons = 0;
+  std::uint64_t distinct_addresses = 0;
+  std::array<std::uint64_t, kMaxParams + 1> params_histogram{};  ///< [n] = tasks with n params
+
+  [[nodiscard]] double total_work_ms() const { return to_ms(total_work); }
+  [[nodiscard]] double avg_task_us() const { return to_us(avg_task); }
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace nexus

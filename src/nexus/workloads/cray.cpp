@@ -1,0 +1,28 @@
+#include "nexus/workloads/duration_model.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+namespace {
+constexpr Addr kLineBase = 0x0C100000;  // c-ray output line buffers
+constexpr Addr kLineStride = 0x40;
+constexpr std::uint32_t kFnRenderLine = 1;
+}  // namespace
+
+Trace make_cray(const CrayConfig& cfg) {
+  Trace tr("c-ray");
+  tr.reserve(static_cast<std::size_t>(cfg.lines));
+  Xoshiro256 rng(cfg.seed);
+  const auto weights =
+      lognormal_weights(static_cast<std::size_t>(cfg.lines), cfg.sigma, rng);
+  const auto durations = scale_to_total(weights, cfg.total_work);
+  for (int i = 0; i < cfg.lines; ++i) {
+    ParamList p;
+    p.push_back({(kLineBase + static_cast<Addr>(i) * kLineStride) & kAddrMask,
+                 Dir::kOut});
+    tr.submit(kFnRenderLine, durations[static_cast<std::size_t>(i)], p);
+  }
+  tr.taskwait();
+  return tr;
+}
+
+}  // namespace nexus::workloads

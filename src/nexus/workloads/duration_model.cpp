@@ -1,0 +1,39 @@
+#include "nexus/workloads/duration_model.hpp"
+
+#include <algorithm>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::workloads {
+
+std::vector<Tick> scale_to_total(const std::vector<double>& raw, Tick total) {
+  NEXUS_ASSERT(!raw.empty());
+  double sum = 0.0;
+  for (const double w : raw) {
+    NEXUS_ASSERT_MSG(w > 0.0, "duration weights must be positive");
+    sum += w;
+  }
+  std::vector<Tick> out(raw.size());
+  const double scale = static_cast<double>(total) / sum;
+  Tick assigned = 0;
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = std::max<Tick>(1, static_cast<Tick>(raw[i] * scale));
+    assigned += out[i];
+    if (raw[i] > raw[largest]) largest = i;
+  }
+  // Absorb rounding drift in the largest task; it is orders of magnitude
+  // larger than the drift (at most one tick per task).
+  const Tick drift = total - assigned;
+  NEXUS_ASSERT_MSG(out[largest] + drift > 0, "rounding drift exceeds largest task");
+  out[largest] += drift;
+  return out;
+}
+
+std::vector<double> lognormal_weights(std::size_t n, double sigma, nexus::Xoshiro256& rng) {
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.lognormal(0.0, sigma);
+  return w;
+}
+
+}  // namespace nexus::workloads

@@ -1,0 +1,20 @@
+// Duration shaping shared by the workload generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nexus/common/rng.hpp"
+#include "nexus/sim/time.hpp"
+
+namespace nexus::workloads {
+
+/// Rescale raw positive weights so they sum exactly to `total` ticks.
+/// Rounding drift is absorbed by the largest entry, keeping every duration
+/// positive and the sum exact (Table II totals are matched to the tick).
+std::vector<Tick> scale_to_total(const std::vector<double>& raw, Tick total);
+
+/// Draw `n` lognormal weights with the given shape parameter.
+std::vector<double> lognormal_weights(std::size_t n, double sigma, nexus::Xoshiro256& rng);
+
+}  // namespace nexus::workloads

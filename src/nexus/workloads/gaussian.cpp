@@ -1,0 +1,54 @@
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+namespace {
+
+constexpr Addr kRowBase = 0x0B000000;
+constexpr Addr kRowStride = 0x40;
+constexpr std::uint32_t kFnPivot = 1;
+constexpr std::uint32_t kFnEliminate = 2;
+
+Addr row_addr(int j) { return (kRowBase + static_cast<Addr>(j) * kRowStride) & kAddrMask; }
+
+/// Task time for `flops` at the configured per-core rate, in ticks.
+Tick flops_time(std::uint64_t flops, double gflops) {
+  return static_cast<Tick>(static_cast<double>(flops) / gflops * 1e3);  // ps
+}
+
+}  // namespace
+
+Trace make_gaussian(const GaussianConfig& cfg) {
+  // Fig. 6 pattern: step i produces pivot row i (pivot task, inout row_i),
+  // then every remaining row j > i eliminates against it (in row_i,
+  // inout row_j). Tasks have at most 2 parameters, and row_i fans out to
+  // n-i waiting readers — the unbounded kick-off-list stress case the
+  // paper validates with this benchmark.
+  //
+  // Task count: (n-1) pivots + n(n-1)/2 eliminations = (n-1)(n+2)/2, and
+  // FLOPs(step i) = n-i+1 per task, exactly reproducing Table III's counts
+  // and average weights. Durations are analytic (no randomness): the paper
+  // derives them from a 2 GFLOPS core model.
+  const int n = cfg.n;
+  NEXUS_ASSERT_MSG(n >= 2, "gaussian needs at least a 2x2 matrix");
+  Trace tr("gaussian-" + std::to_string(n));
+  tr.reserve(gaussian_task_count(static_cast<std::uint64_t>(n)));
+
+  for (int i = 1; i < n; ++i) {
+    const auto flops = static_cast<std::uint64_t>(n - i + 1);
+    const Tick dur = flops_time(flops, cfg.gflops);
+    ParamList pivot;
+    pivot.push_back({row_addr(i), Dir::kInOut});
+    tr.submit(kFnPivot, dur, pivot);
+    for (int j = i + 1; j <= n; ++j) {
+      ParamList elim;
+      elim.push_back({row_addr(i), Dir::kIn});
+      elim.push_back({row_addr(j), Dir::kInOut});
+      tr.submit(kFnEliminate, dur, elim);
+    }
+  }
+  tr.taskwait();
+  NEXUS_ASSERT(tr.num_tasks() == gaussian_task_count(static_cast<std::uint64_t>(n)));
+  return tr;
+}
+
+}  // namespace nexus::workloads

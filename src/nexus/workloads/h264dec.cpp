@@ -1,0 +1,178 @@
+#include <algorithm>
+#include <numeric>
+
+#include "nexus/workloads/duration_model.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+namespace {
+
+constexpr Addr kEntropyState = 0x0A000000;  // CABAC context, serial across frames
+constexpr Addr kHeaderBase = 0x0A000040;    // per-parity slice-header blocks
+constexpr Addr kFrameBase = 0x0A100000;     // double-buffered macroblock store
+constexpr Addr kStride = 0x40;
+constexpr std::uint32_t kFnEntropy = 1;
+constexpr std::uint32_t kFnDecode = 2;
+constexpr std::uint32_t kFnDeblock = 3;
+
+struct Geometry {
+  int gw = 0;  ///< groups per row
+  int gh = 0;  ///< groups per column
+  [[nodiscard]] int groups() const { return gw * gh; }
+};
+
+Geometry geometry(const H264Config& cfg) {
+  return Geometry{(cfg.mb_width + cfg.group - 1) / cfg.group,
+                  (cfg.mb_height + cfg.group - 1) / cfg.group};
+}
+
+Addr mb_addr(const Geometry& g, int x, int y, int parity) {
+  return (kFrameBase +
+          static_cast<Addr>((parity * g.gh + y) * g.gw + x) * kStride) & kAddrMask;
+}
+
+Addr header_addr(int parity) { return kHeaderBase + static_cast<Addr>(parity) * kStride; }
+
+}  // namespace
+
+H264Config h264_config(int group) {
+  H264Config cfg;
+  cfg.group = group;
+  switch (group) {  // Table II rows for h264dec-{1x1,2x2,4x4,8x8}-10f
+    case 1:
+      cfg.total_tasks = 139961;
+      cfg.total_work = ms(640);
+      break;
+    case 2:
+      cfg.total_tasks = 35921;
+      cfg.total_work = ms(550);
+      break;
+    case 4:
+      cfg.total_tasks = 9333;
+      cfg.total_work = ms(519);
+      break;
+    case 8:
+      cfg.total_tasks = 2686;
+      cfg.total_work = ms(510);
+      break;
+    default:
+      NEXUS_ASSERT_MSG(false, "h264 group must be 1, 2, 4 or 8");
+  }
+  return cfg;
+}
+
+Trace make_h264dec(const H264Config& cfg) {
+  const Geometry g = geometry(cfg);
+  const auto frames = static_cast<std::uint64_t>(cfg.frames);
+  const auto groups = static_cast<std::uint64_t>(g.groups());
+  const std::uint64_t decodes = frames * groups;
+  NEXUS_ASSERT_MSG(cfg.total_tasks >= decodes + frames,
+                   "h264 target below decode+entropy task count");
+  const std::uint64_t deblocks_total = cfg.total_tasks - decodes - frames;
+  NEXUS_ASSERT_MSG(deblocks_total <= decodes,
+                   "h264 target implies more deblocks than groups");
+
+  Trace tr("h264dec-" + std::to_string(cfg.group) + "x" + std::to_string(cfg.group) +
+           "-" + std::to_string(cfg.frames) + "f");
+  tr.reserve(cfg.total_tasks);
+  Xoshiro256 rng(cfg.seed);
+
+  std::vector<double> weights;  // aligned with submission order
+  weights.reserve(cfg.total_tasks);
+  std::vector<TaskId> entropy_ids;
+
+  // Deblock-skip selection: exactly deblocks_total deblock tasks across all
+  // frames, spread as evenly as the remainder allows, positions chosen by a
+  // seeded shuffle per frame. This is the deterministic construction that
+  // pins the Table II task counts exactly.
+  std::vector<std::uint64_t> deblocks_per_frame(frames, deblocks_total / frames);
+  for (std::uint64_t f = 0; f < deblocks_total % frames; ++f) ++deblocks_per_frame[f];
+
+  std::vector<int> group_order(groups);
+
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const int parity = static_cast<int>(f % 2);
+    const int prev_parity = 1 - parity;
+
+    // Display/buffer-recycle synchronization: before overwriting parity p
+    // (last used by frame f-2), wait for that frame's bottom-right block —
+    // the `taskwait on` pragma that Nexus++ lacks (Section III).
+    if (f >= 2) tr.taskwait_on(mb_addr(g, g.gw - 1, g.gh - 1, parity));
+
+    // Entropy decode: serial chain through the CABAC state; produces the
+    // slice header this frame's wavefront root consumes.
+    {
+      ParamList p;
+      p.push_back({kEntropyState, Dir::kInOut});
+      p.push_back({header_addr(parity), Dir::kOut});
+      entropy_ids.push_back(tr.submit(kFnEntropy, 1, p));
+      weights.push_back(1.0);  // placeholder; patched after worker sum is known
+    }
+
+    // Decode wavefront, row-major. Neighbour reads reproduce the macroblock
+    // dependency pattern of Listing 1 (left, up-right) plus the up/up-left
+    // intra references and the co-located previous-frame motion reference,
+    // giving the 2-6 parameter range of Table II.
+    for (int y = 0; y < g.gh; ++y) {
+      for (int x = 0; x < g.gw; ++x) {
+        ParamList p;
+        p.push_back({mb_addr(g, x, y, parity), Dir::kInOut});
+        if (x > 0) p.push_back({mb_addr(g, x - 1, y, parity), Dir::kIn});
+        if (y > 0) p.push_back({mb_addr(g, x, y - 1, parity), Dir::kIn});
+        if (y > 0 && x + 1 < g.gw) p.push_back({mb_addr(g, x + 1, y - 1, parity), Dir::kIn});
+        if (f > 0 && p.size() < kMaxParams)
+          p.push_back({mb_addr(g, x, y, prev_parity), Dir::kIn});
+        if (x > 0 && y > 0 && p.size() < kMaxParams)
+          p.push_back({mb_addr(g, x - 1, y - 1, parity), Dir::kIn});
+        if (x == 0 && y == 0) p.push_back({header_addr(parity), Dir::kIn});
+        tr.submit(kFnDecode, 1, p);
+        weights.push_back(rng.lognormal(0.0, cfg.sigma));
+      }
+    }
+
+    // Deblock pass over a seeded subset of groups (boundary-strength zero
+    // blocks skip filtering in a real decoder; the subset size per frame is
+    // fixed by the Table II construction).
+    std::iota(group_order.begin(), group_order.end(), 0);
+    for (std::uint64_t i = groups - 1; i > 0; --i) {
+      const auto j = rng.below(i + 1);
+      std::swap(group_order[i], group_order[j]);
+    }
+    std::vector<int> selected(group_order.begin(),
+                              group_order.begin() +
+                                  static_cast<std::ptrdiff_t>(deblocks_per_frame[f]));
+    std::sort(selected.begin(), selected.end());  // row-major submission
+    for (const int gi : selected) {
+      const int x = gi % g.gw;
+      const int y = gi / g.gw;
+      ParamList p;
+      p.push_back({mb_addr(g, x, y, parity), Dir::kInOut});
+      if (x > 0) p.push_back({mb_addr(g, x - 1, y, parity), Dir::kIn});
+      if (y > 0) p.push_back({mb_addr(g, x, y - 1, parity), Dir::kIn});
+      if (x == 0 && y == 0) p.push_back({header_addr(parity), Dir::kIn});
+      tr.submit(kFnDeblock, 1, p);
+      weights.push_back(cfg.deblock_weight * rng.lognormal(0.0, cfg.sigma));
+    }
+  }
+  tr.taskwait();
+  NEXUS_ASSERT_MSG(tr.num_tasks() == cfg.total_tasks,
+                   "h264 construction missed the Table II task count");
+
+  // Entropy weights: a fixed fraction of total work, split across frames.
+  double worker_sum = 0.0;
+  for (const double w : weights) worker_sum += w;
+  worker_sum -= static_cast<double>(frames);  // subtract placeholders
+  const double entropy_total =
+      worker_sum * cfg.entropy_fraction / (1.0 - cfg.entropy_fraction);
+  Xoshiro256 erng(cfg.seed ^ 0xE17709);
+  for (const TaskId id : entropy_ids) {
+    weights[id] = entropy_total / static_cast<double>(frames) *
+                  (0.95 + 0.1 * erng.uniform());
+  }
+
+  const auto durations = scale_to_total(weights, cfg.total_work);
+  for (TaskId id = 0; id < tr.num_tasks(); ++id) tr.set_duration(id, durations[id]);
+  return tr;
+}
+
+}  // namespace nexus::workloads

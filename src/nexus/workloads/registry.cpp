@@ -1,0 +1,43 @@
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+
+std::vector<std::string> workload_names() {
+  return {"c-ray",
+          "rot-cc",
+          "sparselu",
+          "streamcluster",
+          "h264dec-1x1-10f",
+          "h264dec-2x2-10f",
+          "h264dec-4x4-10f",
+          "h264dec-8x8-10f",
+          "gaussian-250",
+          "gaussian-500",
+          "gaussian-1000",
+          "gaussian-3000"};
+}
+
+bool is_workload(const std::string& name) {
+  for (const auto& n : workload_names())
+    if (n == name) return true;
+  return false;
+}
+
+Trace make_workload(const std::string& name) {
+  if (name == "c-ray") return make_cray();
+  if (name == "rot-cc") return make_rotcc();
+  if (name == "sparselu") return make_sparselu();
+  if (name == "streamcluster") return make_streamcluster();
+  if (name == "h264dec-1x1-10f") return make_h264dec(h264_config(1));
+  if (name == "h264dec-2x2-10f") return make_h264dec(h264_config(2));
+  if (name == "h264dec-4x4-10f") return make_h264dec(h264_config(4));
+  if (name == "h264dec-8x8-10f") return make_h264dec(h264_config(8));
+  if (name == "gaussian-250") return make_gaussian({.n = 250});
+  if (name == "gaussian-500") return make_gaussian({.n = 500});
+  if (name == "gaussian-1000") return make_gaussian({.n = 1000});
+  if (name == "gaussian-3000") return make_gaussian({.n = 3000});
+  NEXUS_ASSERT_MSG(false, ("unknown workload: " + name).c_str());
+  return Trace{};
+}
+
+}  // namespace nexus::workloads

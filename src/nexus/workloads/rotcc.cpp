@@ -1,0 +1,47 @@
+#include "nexus/workloads/duration_model.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+namespace {
+constexpr Addr kLineBase = 0x0D200000;  // in-place line buffers
+constexpr Addr kLineStride = 0x40;
+constexpr std::uint32_t kFnRotate = 1;
+constexpr std::uint32_t kFnColourConvert = 2;
+}  // namespace
+
+Trace make_rotcc(const RotccConfig& cfg) {
+  Trace tr("rot-cc");
+  const auto n_lines = static_cast<std::size_t>(cfg.lines);
+  tr.reserve(n_lines * 2);
+  Xoshiro256 rng(cfg.seed);
+
+  // Per-line pair weight, split rot/cc by rot_share with per-task jitter.
+  const auto pair_weights = lognormal_weights(n_lines, cfg.sigma, rng);
+  std::vector<double> weights;
+  weights.reserve(n_lines * 2);
+  for (std::size_t i = 0; i < n_lines; ++i) {
+    const double jitter = 0.9 + 0.2 * rng.uniform();
+    const double rot_w = pair_weights[i] * cfg.rot_share * jitter;
+    weights.push_back(rot_w);
+    weights.push_back(pair_weights[i] - rot_w > 0 ? pair_weights[i] - rot_w
+                                                  : pair_weights[i] * 0.1);
+  }
+  const auto durations = scale_to_total(weights, cfg.total_work);
+
+  for (std::size_t i = 0; i < n_lines; ++i) {
+    const Addr line = (kLineBase + static_cast<Addr>(i) * kLineStride) & kAddrMask;
+    // Rotation then colour conversion chain through the in-place buffer
+    // (inout -> inout gives the pairwise dependency of Section V-A with a
+    // single parameter per task, matching Table II's "# deps" = 1).
+    ParamList rot;
+    rot.push_back({line, Dir::kInOut});
+    tr.submit(kFnRotate, durations[2 * i], rot);
+    ParamList cc;
+    cc.push_back({line, Dir::kInOut});
+    tr.submit(kFnColourConvert, durations[2 * i + 1], cc);
+  }
+  tr.taskwait();
+  return tr;
+}
+
+}  // namespace nexus::workloads

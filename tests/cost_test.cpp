@@ -1,0 +1,90 @@
+// FPGA cost model: Table I reproduction and interpolation sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nexus/cost/fpga_model.hpp"
+
+namespace nexus::cost {
+namespace {
+
+TEST(FpgaModel, NexusPPRowMatchesTableI) {
+  const UtilizationRow r = nexuspp_row();
+  EXPECT_DOUBLE_EQ(r.regs_pct, 1.0);
+  EXPECT_DOUBLE_EQ(r.luts_pct, 7.0);
+  EXPECT_DOUBLE_EQ(r.bram_pct, 14.0);
+  EXPECT_DOUBLE_EQ(r.fmax_mhz, 114.44);
+  EXPECT_DOUBLE_EQ(r.test_mhz, 100.00);
+  EXPECT_TRUE(r.measured);
+}
+
+TEST(FpgaModel, MeasuredSharpRowsMatchTableI) {
+  struct Expect {
+    std::uint32_t tgs;
+    double luts, bram, fmax, test;
+  };
+  const Expect rows[] = {
+      {1, 8.0, 13.0, 112.63, 100.00},
+      {2, 15.0, 25.0, 112.63, 100.00},
+      {4, 29.0, 47.0, 85.26, 83.33},
+      {6, 44.0, 69.0, 55.66, 55.56},
+  };
+  for (const auto& e : rows) {
+    const UtilizationRow r = nexussharp_row(e.tgs);
+    EXPECT_DOUBLE_EQ(r.luts_pct, e.luts) << e.tgs;
+    EXPECT_DOUBLE_EQ(r.bram_pct, e.bram) << e.tgs;
+    EXPECT_DOUBLE_EQ(r.fmax_mhz, e.fmax) << e.tgs;
+    EXPECT_DOUBLE_EQ(r.test_mhz, e.test) << e.tgs;
+    EXPECT_TRUE(r.measured);
+  }
+}
+
+TEST(FpgaModel, EightTgAbsolutesMatchPaperCounts) {
+  // "their design consumes 29,138 registers and 110,729 LUTs respectively,
+  // which is comparable to the resources needed by our 8 task graphs design
+  // (19,350/127,290 registers/LUTs respectively)".
+  const UtilizationRow r = nexussharp_row(8);
+  EXPECT_NEAR(static_cast<double>(r.regs_abs()), 19350.0, 50.0);
+  EXPECT_NEAR(static_cast<double>(r.luts_abs()), 127290.0, 300.0);
+}
+
+TEST(FpgaModel, InterpolatedRowsAreMonotone) {
+  // Unlisted counts (3, 5, 7) sit between their measured neighbours.
+  for (const std::uint32_t n : {3u, 5u, 7u}) {
+    const UtilizationRow lo = nexussharp_row(n - 1);
+    const UtilizationRow mid = nexussharp_row(n);
+    const UtilizationRow hi = nexussharp_row(n + 1);
+    EXPECT_FALSE(mid.measured);
+    EXPECT_GE(mid.luts_pct, lo.luts_pct);
+    EXPECT_LE(mid.luts_pct, hi.luts_pct);
+    EXPECT_GE(mid.bram_pct, lo.bram_pct);
+    EXPECT_LE(mid.bram_pct, hi.bram_pct);
+    EXPECT_LE(mid.fmax_mhz, lo.fmax_mhz);
+    EXPECT_GE(mid.fmax_mhz, hi.fmax_mhz);
+    EXPECT_LE(mid.test_mhz, mid.fmax_mhz);
+  }
+}
+
+TEST(FpgaModel, Table1HasSixRows) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].config, "Nexus++");
+  EXPECT_EQ(rows[5].config, "Nexus# 8 TGs");
+}
+
+TEST(FpgaModel, DeviceRunsOutAroundNineGraphs) {
+  // The 8-TG design already uses 91% of the block RAMs; the extrapolated
+  // 10-TG design cannot fit — the paper stops at 8 for the same reason.
+  const std::uint32_t max_tgs = max_feasible_task_graphs();
+  EXPECT_GE(max_tgs, 8u);
+  EXPECT_LT(max_tgs, 10u);
+}
+
+TEST(FpgaModel, ExtrapolatedTestFrequencyIsIntegerPeriod) {
+  const UtilizationRow r = nexussharp_row(5);
+  const double period_ns = 1000.0 / r.test_mhz;
+  EXPECT_NEAR(period_ns, std::round(period_ns), 1e-9);
+}
+
+}  // namespace
+}  // namespace nexus::cost

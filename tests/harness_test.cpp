@@ -1,0 +1,74 @@
+// Harness tests: sweep mechanics, baseline definition, manager factories.
+#include <gtest/gtest.h>
+
+#include "nexus/harness/experiment.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::harness {
+namespace {
+
+TEST(Harness, PaperCoreAxes) {
+  EXPECT_EQ(paper_cores_256().size(), 9u);
+  EXPECT_EQ(paper_cores_256().front(), 1u);
+  EXPECT_EQ(paper_cores_256().back(), 256u);
+  EXPECT_EQ(paper_cores_64().back(), 64u);
+  EXPECT_EQ(nanos_cores_32().back(), 32u);
+}
+
+TEST(Harness, BaselineIsSingleCoreIdeal) {
+  const Trace tr = workloads::make_gaussian({.n = 50});
+  // With one worker and no overhead, the makespan is the serial time.
+  EXPECT_EQ(ideal_baseline(tr), tr.total_work());
+}
+
+TEST(Harness, IdealSweepSpeedupsAreSane) {
+  const Trace tr = workloads::make_cray();
+  const Tick base = ideal_baseline(tr);
+  const Series s = sweep(tr, ManagerSpec::ideal(), {1, 2, 4}, base);
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_NEAR(s.points[0].speedup, 1.0, 1e-9);
+  EXPECT_GT(s.points[1].speedup, 1.8);
+  EXPECT_LE(s.points[1].speedup, 2.0 + 1e-9);
+  EXPECT_GT(s.points[2].speedup, 3.5);
+  EXPECT_EQ(s.max_speedup(), s.points[2].speedup);
+}
+
+TEST(Harness, SpeedupAtFindsLargestCoveredPoint) {
+  Series s;
+  s.label = "x";
+  s.points = {{1, 0, 1.0}, {8, 0, 5.0}, {32, 0, 9.0}};
+  EXPECT_DOUBLE_EQ(s.speedup_at(32), 9.0);
+  EXPECT_DOUBLE_EQ(s.speedup_at(16), 5.0);
+  EXPECT_DOUBLE_EQ(s.speedup_at(256), 9.0);
+}
+
+TEST(Harness, SharpSpecUsesTableIFrequency) {
+  const ManagerSpec s6 = ManagerSpec::nexussharp(6);
+  EXPECT_DOUBLE_EQ(s6.sharp.freq_mhz, 55.56);
+  EXPECT_EQ(s6.sharp.num_task_graphs, 6u);
+  const ManagerSpec fixed = ManagerSpec::nexussharp(6, 100.0);
+  EXPECT_DOUBLE_EQ(fixed.sharp.freq_mhz, 100.0);
+}
+
+TEST(Harness, ManagersOrderOnFineGrainedWork) {
+  // The paper's qualitative result in one assertion: on fine-grained
+  // wavefront work with many cores, ideal >= nexus# >= nexus++ and all
+  // managers beat Nanos.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(4));
+  const Tick base = ideal_baseline(tr);
+  const std::vector<std::uint32_t> cores{32};
+  const double ideal =
+      sweep(tr, ManagerSpec::ideal(), cores, base).max_speedup();
+  const double sharp =
+      sweep(tr, ManagerSpec::nexussharp(6), cores, base).max_speedup();
+  const double npp =
+      sweep(tr, ManagerSpec::nexuspp_default(), cores, base).max_speedup();
+  const double nanos =
+      sweep(tr, ManagerSpec::nanos_default(), cores, base).max_speedup();
+  EXPECT_GE(ideal, sharp);
+  EXPECT_GE(sharp, npp);
+  EXPECT_GT(sharp, nanos);
+}
+
+}  // namespace
+}  // namespace nexus::harness

@@ -1,0 +1,228 @@
+// Nexus++ model tests: pipeline cycle fidelity against the paper's Fig. 1
+// example, finish-path timing, pool backpressure, the taskwait_on fallback,
+// and schedule-legality on whole workloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nexus/nexuspp/nexuspp.hpp"
+#include "nexus/runtime/ideal_manager.hpp"
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/workloads/workloads.hpp"
+#include "schedule_checker.hpp"
+
+namespace nexus {
+namespace {
+
+constexpr Tick kCycle = 10000;  // 10 ns at the 100 MHz test frequency
+
+ParamList params_n(std::size_t n, Addr base, Dir dir = Dir::kOut) {
+  ParamList p;
+  for (std::size_t i = 0; i < n; ++i)
+    p.push_back({base + 0x40 * static_cast<Addr>(i), dir});
+  return p;
+}
+
+// ---------- Fig. 1 cycle fidelity ----------
+
+TEST(NexusPPTiming, FourParamTaskLatency) {
+  // Input Parser 4+2*4 = 12 cycles (the paper's "12 cycles per task"),
+  // stage FIFO 3, Insert 2+4*4 = 18 ("18 cycles for our 4-parameter task"),
+  // output FIFO 3, Write-Back 3 => ready 39 cycles after submission.
+  Trace tr("t");
+  tr.submit(0, us(5), params_n(4, 0x1000));
+  tr.taskwait();
+  NexusPP mgr;
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 1});
+  EXPECT_EQ(r.makespan, 39 * kCycle + us(5));
+}
+
+TEST(NexusPPTiming, OneParamTaskLatency) {
+  // 4+2 = 6 receive, +3 fifo, 2+4 = 6 insert, +3 fifo, +3 WB = 21 cycles.
+  Trace tr("t");
+  tr.submit(0, us(1), params_n(1, 0x1000));
+  tr.taskwait();
+  NexusPP mgr;
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 1});
+  EXPECT_EQ(r.makespan, 21 * kCycle + us(1));
+}
+
+TEST(NexusPPTiming, InsertStageBoundsThroughput) {
+  // Back-to-back independent 4-param tasks: the paper notes the write-back
+  // "took place every other 18 cycles" — the insert stage is the bottleneck.
+  Trace tr("t");
+  tr.submit(0, us(5), params_n(4, 0x1000));
+  tr.submit(0, us(5), params_n(4, 0x2000));
+  tr.submit(0, us(5), params_n(4, 0x3000));
+  tr.taskwait();
+  NexusPP mgr;
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 3});
+  // Task 3 ready at 39 + 2*18 cycles; all run in parallel for 5us.
+  EXPECT_EQ(r.makespan, (39 + 36) * kCycle + us(5));
+}
+
+TEST(NexusPPTiming, FinishPathKicksDependent) {
+  // t0 out(A); t1 in(A): t1's start = t0 end + notify(2) + fifo(3)
+  // + finish port (4/param + 2/kick = 6) + fifo(3) + WB(3) = +17 cycles.
+  Trace tr("t");
+  tr.submit(0, us(10), params_n(1, 0x1000));
+  {
+    ParamList p;
+    p.push_back({0x1000, Dir::kIn});
+    tr.submit(0, us(1), p);
+  }
+  tr.taskwait();
+  NexusPP mgr;
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 2});
+  const Tick t0_end = 21 * kCycle + us(10);
+  EXPECT_EQ(r.makespan, t0_end + 17 * kCycle + us(1));
+}
+
+TEST(NexusPPTiming, FrequencyScalesLatency) {
+  Trace tr("t");
+  tr.submit(0, us(5), params_n(4, 0x1000));
+  tr.taskwait();
+  NexusPPConfig cfg;
+  cfg.freq_mhz = 50.0;  // 20 ns cycles: hardware latency doubles
+  NexusPP mgr(cfg);
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 1});
+  EXPECT_EQ(r.makespan, 39 * 2 * kCycle + us(5));
+}
+
+// ---------- structural behaviour ----------
+
+TEST(NexusPP, DoesNotSupportTaskwaitOn) {
+  NexusPP mgr;
+  EXPECT_FALSE(mgr.supports_taskwait_on());
+}
+
+TEST(NexusPP, TaskwaitOnFallsBackToFullBarrier) {
+  // t0 slow writes A, t1 fast writes B, taskwait_on(B), t2 writes C.
+  // Ideal overlaps t2 with t0; Nexus++ must drain both first.
+  Trace tr("t");
+  tr.submit(0, us(100), params_n(1, 0xA00));
+  tr.submit(0, us(1), params_n(1, 0xB00));
+  tr.taskwait_on(0xB00);
+  tr.submit(0, us(50), params_n(1, 0xC00));
+  tr.taskwait();
+  IdealManager ideal;
+  NexusPP npp;
+  const Tick t_ideal = run_trace(tr, ideal, RuntimeConfig{.workers = 4}).makespan;
+  const Tick t_npp = run_trace(tr, npp, RuntimeConfig{.workers = 4}).makespan;
+  EXPECT_EQ(t_ideal, us(100));            // t2 overlaps t0
+  EXPECT_GT(t_npp, us(150));              // t2 serialized after the barrier
+}
+
+TEST(NexusPP, PoolBackpressureBlocksMaster) {
+  NexusPPConfig cfg;
+  cfg.pool_capacity = 2;
+  NexusPP mgr(cfg);
+  Trace tr("t");
+  for (int i = 0; i < 6; ++i)
+    tr.submit(0, us(10), params_n(1, 0x1000 + 0x400 * static_cast<Addr>(i)));
+  tr.taskwait();
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 1});
+  EXPECT_EQ(mgr.stats().pool_peak, 2u);
+  EXPECT_EQ(mgr.stats().tasks_in, 6u);
+  // One worker: tasks serialize; makespan at least 6x10us.
+  EXPECT_GE(r.makespan, us(60));
+}
+
+TEST(NexusPP, TableStallsRecoveredUnderPressure) {
+  // Long-running independent tasks pile up live entries; a tiny table must
+  // stall inserts and recover as tasks retire, still completing with a
+  // legal schedule. (Table capacity: 8 sets x 2 ways = 16 entries, but 40
+  // tasks are in flight because only one worker drains them.)
+  NexusPPConfig cfg;
+  cfg.table.sets = 8;
+  cfg.table.ways = 2;
+  cfg.table.kol_entries = 2;
+  cfg.table.chain_probe_limit = 4;
+  cfg.pool_capacity = 64;
+  NexusPP mgr(cfg);
+  Trace tr("t");
+  for (int i = 0; i < 40; ++i)
+    tr.submit(0, us(500), params_n(1, 0x1000 + 0x40 * static_cast<Addr>(i)));
+  tr.taskwait();
+  std::vector<ScheduleEntry> sched;
+  RuntimeConfig rc;
+  rc.workers = 1;
+  rc.schedule_out = &sched;
+  (void)run_trace(tr, mgr, rc);
+  EXPECT_GT(mgr.stats().table_stalls, 0u);
+  std::string err;
+  EXPECT_TRUE(testing::validate_schedule(tr, sched, &err)) << err;
+}
+
+// ---------- whole-workload schedule legality ----------
+
+class NexusPPWorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NexusPPWorkloadTest, ScheduleIsLegal) {
+  Trace tr;
+  const std::string which = GetParam();
+  if (which == "gaussian-120") {
+    tr = workloads::make_gaussian({.n = 120});
+  } else if (which == "h264-8x8") {
+    tr = workloads::make_h264dec(workloads::h264_config(8));
+  } else {
+    workloads::StreamclusterConfig cfg;
+    cfg.total_tasks = 3000;
+    cfg.phases = 8;
+    cfg.total_work = ms(30);
+    tr = workloads::make_streamcluster(cfg);
+  }
+  NexusPP mgr;
+  std::vector<ScheduleEntry> sched;
+  RuntimeConfig rc;
+  rc.workers = 16;
+  rc.schedule_out = &sched;
+  const RunResult r = run_trace(tr, mgr, rc);
+  EXPECT_EQ(r.tasks, tr.num_tasks());
+  std::string err;
+  EXPECT_TRUE(testing::validate_schedule(tr, sched, &err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, NexusPPWorkloadTest,
+                         ::testing::Values("gaussian-120", "h264-8x8", "sc-small"),
+                         [](const ::testing::TestParamInfo<std::string>& pi) {
+                           std::string n = pi.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(NexusPP, BetweenIdealAndSerialOnCoarseTasks) {
+  // On coarse tasks (h264 8x8: ~190us) the manager overhead hides behind
+  // execution: makespan lies between ideal and fully serial.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(8));
+  IdealManager ideal;
+  NexusPP npp;
+  const Tick t_ideal = run_trace(tr, ideal, RuntimeConfig{.workers = 16}).makespan;
+  const Tick t_npp = run_trace(tr, npp, RuntimeConfig{.workers = 16}).makespan;
+  EXPECT_GE(t_npp, t_ideal);
+  EXPECT_LT(t_npp, tr.total_work());
+}
+
+TEST(NexusPP, ManagerBoundOnUltraFineTasks) {
+  // gaussian-120 tasks average tens of nanoseconds — far below the
+  // manager's per-task pipeline occupancy, so hardware management costs
+  // dominate and the run is slower than 1-core no-overhead execution.
+  // This is the regime Fig. 9's small matrices probe.
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  NexusPP npp;
+  const Tick t_npp = run_trace(tr, npp, RuntimeConfig{.workers = 16}).makespan;
+  EXPECT_GT(t_npp, tr.total_work());
+}
+
+TEST(NexusPP, DeterministicAcrossRuns) {
+  const Trace tr = workloads::make_gaussian({.n = 80});
+  NexusPP a;
+  NexusPP b;
+  EXPECT_EQ(run_trace(tr, a, RuntimeConfig{.workers = 8}).makespan,
+            run_trace(tr, b, RuntimeConfig{.workers = 8}).makespan);
+}
+
+}  // namespace
+}  // namespace nexus

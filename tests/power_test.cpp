@@ -1,0 +1,96 @@
+// Power/energy model tests: accounting identities, frequency scaling, and
+// the dark-silicon gating estimate.
+#include <gtest/gtest.h>
+
+#include "nexus/cost/power_model.hpp"
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::cost {
+namespace {
+
+NexusSharp::Stats run_and_stats(const Trace& tr, const NexusSharpConfig& cfg,
+                                std::uint32_t workers, Tick* makespan) {
+  NexusSharp mgr(cfg);
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = workers});
+  *makespan = r.makespan;
+  return mgr.stats();
+}
+
+TEST(PowerModel, EnergyIsPositiveAndDecomposes) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  NexusSharpConfig cfg;
+  cfg.num_task_graphs = 4;
+  cfg.freq_mhz = 100.0;
+  Tick makespan = 0;
+  const auto stats = run_and_stats(tr, cfg, 8, &makespan);
+  const EnergyReport r = estimate_energy(stats, cfg, makespan);
+  EXPECT_GT(r.dynamic_mj, 0.0);
+  EXPECT_GT(r.leakage_mj, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_mj(), r.dynamic_mj + r.leakage_mj);
+  EXPECT_GT(r.uj_per_task, 0.0);
+  EXPECT_GT(r.avg_power_mw, 0.0);
+}
+
+TEST(PowerModel, GatingSavesLeakageWhenGraphsIdle) {
+  // Coarse tasks leave the task graphs mostly idle: gating must reclaim a
+  // large share of their leakage, and never exceed the ungated figure.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(8));
+  NexusSharpConfig cfg;
+  cfg.num_task_graphs = 8;
+  cfg.freq_mhz = 100.0;
+  Tick makespan = 0;
+  const auto stats = run_and_stats(tr, cfg, 16, &makespan);
+  const EnergyReport r = estimate_energy(stats, cfg, makespan);
+  EXPECT_LT(r.gated_leakage_mj, r.leakage_mj);
+  EXPECT_GT(r.gated_savings_pct, 30.0);
+  EXPECT_LE(r.gated_total_mj(), r.total_mj());
+}
+
+TEST(PowerModel, MoreGraphsLeakMore) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  Tick mk2 = 0;
+  Tick mk8 = 0;
+  NexusSharpConfig c2;
+  c2.num_task_graphs = 2;
+  c2.freq_mhz = 100.0;
+  NexusSharpConfig c8;
+  c8.num_task_graphs = 8;
+  c8.freq_mhz = 100.0;
+  const auto s2 = run_and_stats(tr, c2, 8, &mk2);
+  const auto s8 = run_and_stats(tr, c8, 8, &mk8);
+  const double leak2_rate = estimate_energy(s2, c2, mk2).leakage_mj / to_seconds(mk2);
+  const double leak8_rate = estimate_energy(s8, c8, mk8).leakage_mj / to_seconds(mk8);
+  EXPECT_GT(leak8_rate, leak2_rate);
+}
+
+TEST(PowerModel, DynamicEnergyScalesWithFrequency) {
+  // Same busy cycle count at double the frequency = half the busy time but
+  // double the power: dynamic energy stays ~constant, leakage shrinks.
+  const Trace tr = workloads::make_gaussian({.n = 100});
+  NexusSharpConfig slow;
+  slow.num_task_graphs = 2;
+  slow.freq_mhz = 50.0;
+  NexusSharpConfig fast = slow;
+  fast.freq_mhz = 100.0;
+  Tick mk_slow = 0;
+  Tick mk_fast = 0;
+  const auto ss = run_and_stats(tr, slow, 64, &mk_slow);
+  const auto sf = run_and_stats(tr, fast, 64, &mk_fast);
+  const EnergyReport rs = estimate_energy(ss, slow, mk_slow);
+  const EnergyReport rf = estimate_energy(sf, fast, mk_fast);
+  EXPECT_NEAR(rf.dynamic_mj / rs.dynamic_mj, 1.0, 0.15);
+  EXPECT_LT(mk_fast, mk_slow);
+}
+
+TEST(PowerModel, NexusPPComparableScale) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  NexusPP mgr;
+  const RunResult r = run_trace(tr, mgr, RuntimeConfig{.workers = 8});
+  const EnergyReport e = estimate_energy(mgr.stats(), NexusPPConfig{}, r.makespan);
+  EXPECT_GT(e.total_mj(), 0.0);
+  EXPECT_DOUBLE_EQ(e.gated_leakage_mj, e.leakage_mj);  // nothing to gate
+}
+
+}  // namespace
+}  // namespace nexus::cost

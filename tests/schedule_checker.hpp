@@ -1,0 +1,12 @@
+// Backwards-compatible shim: the schedule oracle moved into the library
+// (nexus/runtime/schedule_validator.hpp) so downstream users can validate
+// their own manager models. Tests use it through this alias.
+#pragma once
+
+#include "nexus/runtime/schedule_validator.hpp"
+
+namespace nexus::testing {
+
+using nexus::validate_schedule;
+
+}  // namespace nexus::testing

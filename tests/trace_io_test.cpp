@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nexus/task/trace.hpp"
+#include "nexus/task/trace_io.hpp"
+
+namespace nexus {
+namespace {
+
+Trace make_round_trip_trace() {
+  Trace tr("roundtrip");
+  ParamList p1;
+  p1.push_back({0xABCDE, Dir::kOut});
+  const TaskId a = tr.submit(3, us(10), p1);
+  (void)a;
+  ParamList p2;
+  p2.push_back({0xABCDE, Dir::kIn});
+  p2.push_back({0x1234567890AB, Dir::kInOut});
+  tr.submit(4, ns(250), p2);
+  tr.taskwait_on(0xABCDE);
+  tr.taskwait();
+  return tr;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = make_round_trip_trace();
+  std::stringstream ss;
+  write_trace(ss, original);
+
+  Trace reread;
+  std::string err;
+  ASSERT_TRUE(read_trace(ss, &reread, &err)) << err;
+
+  EXPECT_EQ(reread.name(), "roundtrip");
+  ASSERT_EQ(reread.num_tasks(), original.num_tasks());
+  for (TaskId i = 0; i < original.num_tasks(); ++i) {
+    EXPECT_EQ(reread.task(i).fn, original.task(i).fn);
+    EXPECT_EQ(reread.task(i).duration, original.task(i).duration);
+    EXPECT_TRUE(reread.task(i).params == original.task(i).params);
+  }
+  ASSERT_EQ(reread.num_events(), original.num_events());
+  for (std::size_t i = 0; i < original.events().size(); ++i) {
+    EXPECT_EQ(reread.events()[i].op, original.events()[i].op);
+    EXPECT_EQ(reread.events()[i].addr, original.events()[i].addr);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedDirection) {
+  std::stringstream ss("task 0 1 100 1 abc sideways\nsubmit 0\n");
+  Trace t;
+  std::string err;
+  EXPECT_FALSE(read_trace(ss, &t, &err));
+  EXPECT_NE(err.find("direction"), std::string::npos);
+}
+
+TEST(TraceIo, RejectsSubmitWithoutDeclaration) {
+  std::stringstream ss("submit 5\n");
+  Trace t;
+  EXPECT_FALSE(read_trace(ss, &t));
+}
+
+TEST(TraceIo, RejectsTooManyParams) {
+  std::stringstream ss("task 0 1 100 9 a in b in c in d in e in f in 10 in 11 in 12 in\nsubmit 0\n");
+  Trace t;
+  EXPECT_FALSE(read_trace(ss, &t));
+}
+
+TEST(TraceIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# a comment\n"
+      "\n"
+      "task 0 1 100 1 ff out\n"
+      "submit 0\n");
+  Trace t;
+  std::string err;
+  ASSERT_TRUE(read_trace(ss, &t, &err)) << err;
+  EXPECT_EQ(t.num_tasks(), 1u);
+  EXPECT_EQ(t.task(0).params[0].addr, 0xFFu);
+}
+
+}  // namespace
+}  // namespace nexus
