@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification entrypoint: configure + build + ctest.
+#
+# Usage:
+#   scripts/check.sh                 # plain RelWithDebInfo build + all tests
+#   scripts/check.sh --sanitize      # additional ASan/UBSan build + all tests
+#   scripts/check.sh --label unit    # run only suites with the given CTest label
+#
+# Exit code is nonzero if any configure, build, or test step fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE=0
+LABEL=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --sanitize) SANITIZE=1 ;;
+    --label) LABEL="${2:?--label needs an argument (unit|integration)}"; shift ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
+if [[ -n "${LABEL}" ]]; then
+  CTEST_ARGS+=(-L "${LABEL}")
+fi
+
+run_pass() {
+  local dir="$1"; shift
+  echo "==> configure: ${dir} ($*)"
+  cmake -B "${dir}" -S . "$@"
+  echo "==> build: ${dir}"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==> ctest: ${dir}"
+  ctest --test-dir "${dir}" "${CTEST_ARGS[@]}"
+}
+
+# Pin the canonical options so a developer's cached -D overrides (e.g.
+# NEXUS_WERROR=OFF while iterating) can't silently weaken the tier-1 gate.
+run_pass build -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEXUS_SANITIZE=OFF -DNEXUS_WERROR=ON
+
+if [[ "${SANITIZE}" -eq 1 ]]; then
+  run_pass build-asan -DNEXUS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+fi
+
+echo "==> all checks passed"

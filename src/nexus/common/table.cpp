@@ -1,5 +1,6 @@
 #include "nexus/common/table.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 

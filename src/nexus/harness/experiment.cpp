@@ -1,5 +1,6 @@
 #include "nexus/harness/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "nexus/common/table.hpp"

@@ -1,3 +1,25 @@
 #include "nexus/hw/dep_counts_table.hpp"
 
-// Header-only; this TU pins the library's symbols and include hygiene.
+#include <algorithm>
+
+namespace nexus::hw {
+
+void DepCountsTable::set(TaskId id, std::uint32_t count) {
+  NEXUS_ASSERT(count >= 1);
+  const bool fresh = counts_.emplace(id, count).second;
+  NEXUS_ASSERT_MSG(fresh, "dep count already present");
+  peak_ = std::max<std::uint64_t>(peak_, counts_.size());
+}
+
+bool DepCountsTable::decrement(TaskId id) {
+  const auto it = counts_.find(id);
+  NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
+  NEXUS_ASSERT(it->second > 0);
+  if (--it->second == 0) {
+    counts_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace nexus::hw

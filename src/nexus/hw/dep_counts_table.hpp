@@ -15,25 +15,11 @@ namespace nexus::hw {
 class DepCountsTable {
  public:
   /// Park a task with `count` outstanding dependences (count >= 1).
-  void set(TaskId id, std::uint32_t count) {
-    NEXUS_ASSERT(count >= 1);
-    const bool fresh = counts_.emplace(id, count).second;
-    NEXUS_ASSERT_MSG(fresh, "dep count already present");
-    peak_ = std::max<std::uint64_t>(peak_, counts_.size());
-  }
+  void set(TaskId id, std::uint32_t count);
 
   /// Satisfy one dependence; returns true when the task became ready (its
   /// entry is then removed).
-  bool decrement(TaskId id) {
-    const auto it = counts_.find(id);
-    NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
-    NEXUS_ASSERT(it->second > 0);
-    if (--it->second == 0) {
-      counts_.erase(it);
-      return true;
-    }
-    return false;
-  }
+  bool decrement(TaskId id);
 
   [[nodiscard]] bool contains(TaskId id) const { return counts_.count(id) > 0; }
   [[nodiscard]] std::size_t size() const { return counts_.size(); }

@@ -1,3 +1,25 @@
 #include "nexus/hw/task_pool.hpp"
 
-// Header-only; this TU pins the library's symbols and include hygiene.
+#include <algorithm>
+
+namespace nexus::hw {
+
+void TaskPool::insert(const TaskDescriptor& t) {
+  NEXUS_ASSERT_MSG(!full(), "task pool overflow");
+  const bool fresh = slots_.emplace(t.id, t).second;
+  NEXUS_ASSERT_MSG(fresh, "task already pooled");
+  peak_ = std::max<std::uint64_t>(peak_, slots_.size());
+}
+
+const TaskDescriptor& TaskPool::get(TaskId id) const {
+  const auto it = slots_.find(id);
+  NEXUS_ASSERT_MSG(it != slots_.end(), "task not in pool");
+  return it->second;
+}
+
+void TaskPool::erase(TaskId id) {
+  const auto n = slots_.erase(id);
+  NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
+}
+
+}  // namespace nexus::hw

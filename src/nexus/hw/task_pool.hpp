@@ -26,23 +26,11 @@ class TaskPool {
   [[nodiscard]] bool full() const { return slots_.size() >= capacity_; }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
 
-  void insert(const TaskDescriptor& t) {
-    NEXUS_ASSERT_MSG(!full(), "task pool overflow");
-    const bool fresh = slots_.emplace(t.id, t).second;
-    NEXUS_ASSERT_MSG(fresh, "task already pooled");
-    peak_ = std::max<std::uint64_t>(peak_, slots_.size());
-  }
+  void insert(const TaskDescriptor& t);
 
-  [[nodiscard]] const TaskDescriptor& get(TaskId id) const {
-    const auto it = slots_.find(id);
-    NEXUS_ASSERT_MSG(it != slots_.end(), "task not in pool");
-    return it->second;
-  }
+  [[nodiscard]] const TaskDescriptor& get(TaskId id) const;
 
-  void erase(TaskId id) {
-    const auto n = slots_.erase(id);
-    NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
-  }
+  void erase(TaskId id);
 
  private:
   std::size_t capacity_;

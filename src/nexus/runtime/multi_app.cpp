@@ -1,5 +1,6 @@
 #include "nexus/runtime/multi_app.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 

@@ -1,5 +1,6 @@
 #include "nexus/task/trace_stats.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_set>
 

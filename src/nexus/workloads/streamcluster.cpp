@@ -1,5 +1,8 @@
-#include "nexus/workloads/duration_model.hpp"
 #include "nexus/workloads/workloads.hpp"
+
+#include <algorithm>
+
+#include "nexus/workloads/duration_model.hpp"
 
 namespace nexus::workloads {
 namespace {
