@@ -1,12 +1,21 @@
 // Reproduces Table II: per-benchmark task counts, total work, average task
 // size and parameter ranges, from the synthetic trace generators, printed
 // next to the paper's values.
+//
+// With --json=<path> the binary additionally *runs* each selected workload
+// against Nexus# (6 TGs at the Table I test frequency) with a telemetry
+// registry attached and writes a JSON array of records
+//   {bench, workload, manager, cores, makespan, speedup, metrics{...}}
+// — the machine-readable seed for the BENCH_table2.json perf trajectory.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "nexus/common/flags.hpp"
 #include "nexus/common/table.hpp"
+#include "nexus/harness/experiment.hpp"
 #include "nexus/task/trace_stats.hpp"
+#include "nexus/telemetry/writers.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 using namespace nexus;
@@ -33,10 +42,29 @@ constexpr PaperRow kPaper[] = {
     {"h264dec-8x8-10f", 2686, 510, 189.9, "2-6"},
 };
 
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)Flags(argc, argv, {});
+  const Flags flags(
+      argc, argv,
+      {{"json", "write per-workload Nexus# run records to this file"},
+       {"cores", "worker cores for the --json runs (default 32)"},
+       {"workloads",
+        "comma-separated subset of Table II workloads to run for --json "
+        "(default: all)"}});
   std::printf("Table II: benchmark durations (traces regenerated synthetically; "
               "see DESIGN.md)\n\n");
   TextTable t({"benchmark", "# tasks", "paper", "total work (ms)", "paper",
@@ -55,5 +83,44 @@ int main(int argc, char** argv) {
                deps, row.deps});
   }
   t.print();
+
+  if (!flags.has("json")) return 0;
+
+  // --json: measured runs with telemetry, one record per workload.
+  const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 32));
+  std::vector<std::string> selected = split_csv(flags.get("workloads", ""));
+  if (selected.empty())
+    for (const auto& row : kPaper) selected.push_back(row.name);
+
+  const harness::ManagerSpec spec = harness::ManagerSpec::nexussharp(6);
+  std::string doc = "[";
+  bool first = true;
+  for (const auto& name : selected) {
+    if (!is_workload(name)) {
+      std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+      return 2;
+    }
+    const Trace tr = make_workload(name);
+    const Tick baseline = harness::ideal_baseline(tr);
+    const harness::RunReport rep =
+        harness::run_once_report(tr, spec, cores, {}, /*collect_metrics=*/true);
+    if (!first) doc += ",";
+    first = false;
+    doc += "\n";
+    doc += harness::metrics_report_json(
+        "table2", name, spec.label, cores, rep.result.makespan,
+        rep.result.speedup_vs(baseline), rep.metrics.get());
+    std::printf("ran %-18s %8.2f ms makespan, %6.2fx speedup at %u cores\n",
+                name.c_str(), to_ms(rep.result.makespan),
+                rep.result.speedup_vs(baseline), cores);
+  }
+  doc += "\n]\n";
+
+  const std::string path = flags.get("json", "");
+  if (!telemetry::write_text_file(path, doc)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %zu record(s) to %s\n", selected.size(), path.c_str());
   return 0;
 }

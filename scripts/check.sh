@@ -5,17 +5,22 @@
 #   scripts/check.sh                 # plain RelWithDebInfo build + all tests
 #   scripts/check.sh --sanitize      # additional ASan/UBSan build + all tests
 #   scripts/check.sh --label unit    # run only suites with the given CTest label
+#   scripts/check.sh --bench         # additionally smoke-run every bench binary
+#                                    # (quick traces) and regenerate
+#                                    # BENCH_table2.json
 #
-# Exit code is nonzero if any configure, build, or test step fails.
+# Exit code is nonzero if any configure, build, test, or smoke step fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
+BENCH=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize) SANITIZE=1 ;;
+    --bench) BENCH=1 ;;
     --label) LABEL="${2:?--label needs an argument (unit|integration)}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -44,6 +49,32 @@ run_pass build -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEXUS_SANITIZE=OFF -DNEXUS_WE
 
 if [[ "${SANITIZE}" -eq 1 ]]; then
   run_pass build-asan -DNEXUS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+fi
+
+if [[ "${BENCH}" -eq 1 ]]; then
+  # Smoke-run every bench/example binary on its quickest configuration so
+  # bench bit-rot fails here instead of lingering until someone reproduces a
+  # paper figure. Output is discarded; a nonzero exit fails the check.
+  echo "==> bench smoke (quick traces)"
+  B=build/bench
+  E=build/examples
+  smoke() { echo "--> $*"; "$@" >/dev/null; }
+  smoke "${B}/micro_5tasks"
+  smoke "${B}/table1_utilization"
+  smoke "${B}/table3_gaussian" --skip-3000
+  smoke "${B}/table4_max_speedup" --quick
+  smoke "${B}/fig7_h264_tg_scaling" --quick
+  smoke "${B}/fig8_starbench" --quick
+  smoke "${B}/fig9_gaussian_speedup" --quick
+  smoke "${B}/ablation_arbiter" --quick
+  smoke "${B}/ablation_distribution" --quick
+  smoke "${B}/ablation_pool_window" --quick
+  smoke "${B}/multiapp" --quick
+  smoke "${B}/power_energy"
+  smoke "${E}/metrics_report" --workload gaussian-250 --cores 8
+  # The machine-readable Table II trajectory record (all eight workloads).
+  smoke "${B}/table2_workloads" --json BENCH_table2.json
+  echo "==> wrote BENCH_table2.json"
 fi
 
 echo "==> all checks passed"

@@ -7,6 +7,8 @@
 #include "nexus/cost/fpga_model.hpp"
 #include "nexus/runtime/ideal_manager.hpp"
 #include "nexus/runtime/list_scheduler.hpp"
+#include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/writers.hpp"
 
 namespace nexus::harness {
 
@@ -68,51 +70,94 @@ Tick ideal_baseline(const Trace& trace) { return list_schedule_makespan(trace, 1
 
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base) {
+  // The fast list scheduler computes the identical makespan (tested against
+  // the DES + IdealManager pair) without event overhead — unless host costs
+  // are configured, which need the DES.
+  if (spec.kind == ManagerSpec::Kind::kIdeal && base.host_message_cost == 0 &&
+      base.master_event_cost == 0)
+    return list_schedule_makespan(trace, cores);
+  return run_once_report(trace, spec, cores, base, /*collect_metrics=*/false)
+      .result.makespan;
+}
+
+RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
+                          std::uint32_t cores, const RuntimeConfig& base,
+                          bool collect_metrics) {
   RuntimeConfig rc = base;
   rc.workers = cores;
+  telemetry::MetricRegistry reg;
+  if (collect_metrics) rc.metrics = &reg;
+  RunReport rep;
   switch (spec.kind) {
-    case ManagerSpec::Kind::kIdeal:
-      // The fast list scheduler computes the identical makespan (tested
-      // against the DES + IdealManager pair) without event overhead —
-      // unless host costs are configured, which need the DES.
-      if (rc.host_message_cost == 0 && rc.master_event_cost == 0)
-        return list_schedule_makespan(trace, cores);
-      else {
-        IdealManager mgr;
-        return run_trace(trace, mgr, rc).makespan;
-      }
+    case ManagerSpec::Kind::kIdeal: {
+      IdealManager mgr;
+      rep.result = run_trace(trace, mgr, rc);
+      break;
+    }
     case ManagerSpec::Kind::kNanos: {
       NanosModel mgr(spec.nanos);
-      return run_trace(trace, mgr, rc).makespan;
+      rep.result = run_trace(trace, mgr, rc);
+      break;
     }
     case ManagerSpec::Kind::kNexusPP: {
       NexusPP mgr(spec.npp);
-      return run_trace(trace, mgr, rc).makespan;
+      rep.result = run_trace(trace, mgr, rc);
+      break;
     }
     case ManagerSpec::Kind::kNexusSharp: {
       NexusSharp mgr(spec.sharp, spec.arbiter_policy);
-      return run_trace(trace, mgr, rc).makespan;
+      rep.result = run_trace(trace, mgr, rc);
+      break;
     }
   }
-  NEXUS_ASSERT_MSG(false, "unreachable");
-  return 0;
+  if (collect_metrics)
+    rep.metrics = std::make_shared<telemetry::Snapshot>(reg.snapshot());
+  return rep;
 }
 
 Series sweep(const Trace& trace, const ManagerSpec& spec,
              const std::vector<std::uint32_t>& cores, Tick baseline,
-             const RuntimeConfig& base) {
+             const RuntimeConfig& base, bool collect_metrics) {
   Series s;
   s.label = spec.label;
   for (const std::uint32_t c : cores) {
     SweepPoint p;
     p.cores = c;
-    p.makespan = run_once(trace, spec, c, base);
+    if (collect_metrics) {
+      RunReport rep = run_once_report(trace, spec, c, base, true);
+      p.makespan = rep.result.makespan;
+      p.metrics = std::move(rep.metrics);
+    } else {
+      p.makespan = run_once(trace, spec, c, base);
+    }
     p.speedup = p.makespan > 0 ? static_cast<double>(baseline) /
                                      static_cast<double>(p.makespan)
                                : 0.0;
     s.points.push_back(p);
   }
   return s;
+}
+
+std::string metrics_report_json(std::string_view bench, std::string_view workload,
+                                std::string_view manager, std::uint32_t cores,
+                                Tick makespan, double speedup,
+                                const telemetry::Snapshot* metrics) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", bench);
+  w.kv("workload", workload);
+  w.kv("manager", manager);
+  w.kv("cores", cores);
+  w.kv("makespan", makespan);
+  w.kv("speedup", speedup);
+  w.key("metrics");
+  if (metrics != nullptr) {
+    telemetry::append_snapshot(w, *metrics);
+  } else {
+    w.begin_object().end_object();
+  }
+  w.end_object();
+  return w.str();
 }
 
 void print_series(const std::string& title, const std::vector<std::uint32_t>& cores,

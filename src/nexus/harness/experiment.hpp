@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nexus/nexuspp/nexuspp.hpp"
@@ -12,6 +14,7 @@
 #include "nexus/runtime/nanos_model.hpp"
 #include "nexus/runtime/simulation_driver.hpp"
 #include "nexus/task/trace.hpp"
+#include "nexus/telemetry/snapshot.hpp"
 
 namespace nexus::harness {
 
@@ -41,6 +44,9 @@ struct SweepPoint {
   std::uint32_t cores = 0;
   Tick makespan = 0;
   double speedup = 0.0;  ///< vs the ideal single-core baseline
+  /// Telemetry snapshot of this point's run; null unless the sweep was
+  /// asked to collect metrics.
+  std::shared_ptr<const telemetry::Snapshot> metrics;
 };
 
 struct Series {
@@ -60,10 +66,33 @@ Tick ideal_baseline(const Trace& trace);
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base = {});
 
-/// Sweep a core-count axis. `base.workers` is overwritten per point.
+/// A full run record: the result plus (optionally) a metric snapshot.
+struct RunReport {
+  RunResult result;
+  std::shared_ptr<const telemetry::Snapshot> metrics;  ///< null unless collected
+};
+
+/// One measurement with full result + telemetry (fresh manager and registry
+/// per call; the ideal manager runs through the DES so runtime metrics
+/// exist for it too).
+RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
+                          std::uint32_t cores, const RuntimeConfig& base = {},
+                          bool collect_metrics = true);
+
+/// Sweep a core-count axis. `base.workers` is overwritten per point; with
+/// `collect_metrics` every point carries a telemetry snapshot.
 Series sweep(const Trace& trace, const ManagerSpec& spec,
              const std::vector<std::uint32_t>& cores, Tick baseline,
-             const RuntimeConfig& base = {});
+             const RuntimeConfig& base = {}, bool collect_metrics = false);
+
+/// One machine-readable per-run record for the BENCH_*.json trajectory:
+/// {"bench", "workload", "manager", "cores", "makespan", "speedup",
+///  "metrics": {...}} — makespan in integer picoseconds, metrics the flat
+/// snapshot object ({} when `metrics` is null).
+std::string metrics_report_json(std::string_view bench, std::string_view workload,
+                                std::string_view manager, std::uint32_t cores,
+                                Tick makespan, double speedup,
+                                const telemetry::Snapshot* metrics);
 
 /// Print a figure-style table: one row per core count, one column per
 /// series, plus (optionally) CSV to stdout.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus::hw {
 
 void DepCountsTable::set(TaskId id, std::uint32_t count) {
@@ -9,17 +11,29 @@ void DepCountsTable::set(TaskId id, std::uint32_t count) {
   const bool fresh = counts_.emplace(id, count).second;
   NEXUS_ASSERT_MSG(fresh, "dep count already present");
   peak_ = std::max<std::uint64_t>(peak_, counts_.size());
+  telemetry::inc(m_parked_);
+  telemetry::record(m_occupancy_, counts_.size());
 }
 
 bool DepCountsTable::decrement(TaskId id) {
   const auto it = counts_.find(id);
   NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
   NEXUS_ASSERT(it->second > 0);
+  telemetry::inc(m_hits_);
   if (--it->second == 0) {
     counts_.erase(it);
+    telemetry::inc(m_released_);
     return true;
   }
   return false;
+}
+
+void DepCountsTable::bind_telemetry(telemetry::MetricRegistry& reg,
+                                    std::string_view prefix) {
+  m_parked_ = &reg.counter(telemetry::path_join(prefix, "parked"));
+  m_hits_ = &reg.counter(telemetry::path_join(prefix, "hits"));
+  m_released_ = &reg.counter(telemetry::path_join(prefix, "released"));
+  m_occupancy_ = &reg.histogram(telemetry::path_join(prefix, "occupancy"));
 }
 
 }  // namespace nexus::hw

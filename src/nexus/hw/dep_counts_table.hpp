@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "nexus/task/task.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus::hw {
 
@@ -25,9 +27,17 @@ class DepCountsTable {
   [[nodiscard]] std::size_t size() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
 
+  /// Register park/hit metrics under `prefix` (cold path; call before a run).
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
+
  private:
   std::unordered_map<TaskId, std::uint32_t> counts_;
   std::uint64_t peak_ = 0;
+
+  telemetry::Counter* m_parked_ = nullptr;     ///< tasks parked with a count
+  telemetry::Counter* m_hits_ = nullptr;       ///< decrements applied
+  telemetry::Counter* m_released_ = nullptr;   ///< decrements reaching zero
+  telemetry::Histogram* m_occupancy_ = nullptr;  ///< size sampled per park
 };
 
 }  // namespace nexus::hw

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nexus/common/bit_ops.hpp"
+#include "nexus/telemetry/registry.hpp"
 
 namespace nexus::hw {
 
@@ -98,16 +99,21 @@ TaskGraphTable::InsertResult TaskGraphTable::insert(Addr addr, TaskId task,
     e = allocate(addr);
     if (e == nullptr) {
       ++stalls_;
+      telemetry::inc(m_stalls_);
       return {InsertKind::kNoSpace, 0};
     }
     e->cur_is_writer = is_writer;
     e->cur_unfinished = 1;
+    telemetry::inc(m_inserts_);
+    telemetry::record(m_fill_, used_slots_);
     return {InsertKind::kRunsNow, 0};
   }
 
   if (!is_writer && !e->cur_is_writer && e->kol.empty()) {
     // Reader joins the running reader group.
     ++e->cur_unfinished;
+    telemetry::inc(m_inserts_);
+    telemetry::record(m_fill_, used_slots_);
     return {InsertKind::kRunsNow, 0};
   }
 
@@ -117,10 +123,15 @@ TaskGraphTable::InsertResult TaskGraphTable::insert(Addr addr, TaskId task,
   if (e->kol.size() == capacity) {
     if (!grow_chain(*e, addr)) {
       ++stalls_;
+      telemetry::inc(m_stalls_);
       return {InsertKind::kNoSpace, static_cast<std::uint32_t>(e->chain_idx.size())};
     }
   }
   e->kol.push_back(Waiter{task, is_writer});
+  telemetry::inc(m_inserts_);
+  telemetry::inc(m_queued_);
+  telemetry::inc(m_chain_hops_, e->chain_idx.size());
+  telemetry::record(m_fill_, used_slots_);
   return {InsertKind::kQueued, static_cast<std::uint32_t>(e->chain_idx.size())};
 }
 
@@ -141,6 +152,7 @@ TaskGraphTable::FinishResult TaskGraphTable::finish(Addr addr, TaskId /*task*/,
 
   // Kick off the next group: a single writer, or every consecutive reader.
   r.chain_hops = static_cast<std::uint32_t>(e->chain_idx.size());
+  telemetry::inc(m_chain_hops_, r.chain_hops);
   if (e->kol.front().is_writer) {
     kicked->push_back(e->kol.front());
     e->kol.pop_front();
@@ -161,6 +173,15 @@ TaskGraphTable::FinishResult TaskGraphTable::finish(Addr addr, TaskId /*task*/,
 
 bool TaskGraphTable::tracks(Addr addr) const {
   return const_cast<TaskGraphTable*>(this)->find(addr) != nullptr;
+}
+
+void TaskGraphTable::bind_telemetry(telemetry::MetricRegistry& reg,
+                                    std::string_view prefix) {
+  m_inserts_ = &reg.counter(telemetry::path_join(prefix, "inserts"));
+  m_queued_ = &reg.counter(telemetry::path_join(prefix, "queued"));
+  m_stalls_ = &reg.counter(telemetry::path_join(prefix, "stalls"));
+  m_chain_hops_ = &reg.counter(telemetry::path_join(prefix, "chain_hops"));
+  m_fill_ = &reg.histogram(telemetry::path_join(prefix, "fill"));
 }
 
 }  // namespace nexus::hw

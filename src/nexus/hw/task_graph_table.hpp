@@ -20,9 +20,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <vector>
 
 #include "nexus/task/task.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus::hw {
 
@@ -75,6 +77,9 @@ class TaskGraphTable {
   [[nodiscard]] std::uint64_t total_stalls() const { return stalls_; }
   [[nodiscard]] std::uint64_t peak_used() const { return peak_used_; }
 
+  /// Register fill/stall/chain metrics under `prefix` (cold path).
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
+
  private:
   struct Entry {
     Addr addr = 0;
@@ -99,6 +104,12 @@ class TaskGraphTable {
   std::uint32_t used_slots_ = 0;
   std::uint64_t stalls_ = 0;
   std::uint64_t peak_used_ = 0;
+
+  telemetry::Counter* m_inserts_ = nullptr;     ///< accesses recorded
+  telemetry::Counter* m_queued_ = nullptr;      ///< accesses that waited
+  telemetry::Counter* m_stalls_ = nullptr;      ///< kNoSpace rejections
+  telemetry::Counter* m_chain_hops_ = nullptr;  ///< dummy-entry traversals
+  telemetry::Histogram* m_fill_ = nullptr;      ///< slots used, per insert
 };
 
 }  // namespace nexus::hw

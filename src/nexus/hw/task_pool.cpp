@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus::hw {
 
 void TaskPool::insert(const TaskDescriptor& t) {
@@ -9,6 +11,9 @@ void TaskPool::insert(const TaskDescriptor& t) {
   const bool fresh = slots_.emplace(t.id, t).second;
   NEXUS_ASSERT_MSG(fresh, "task already pooled");
   peak_ = std::max<std::uint64_t>(peak_, slots_.size());
+  telemetry::inc(m_inserts_);
+  telemetry::record(m_occupancy_, slots_.size());
+  telemetry::set(m_peak_, static_cast<std::int64_t>(peak_));
 }
 
 const TaskDescriptor& TaskPool::get(TaskId id) const {
@@ -20,6 +25,15 @@ const TaskDescriptor& TaskPool::get(TaskId id) const {
 void TaskPool::erase(TaskId id) {
   const auto n = slots_.erase(id);
   NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
+  telemetry::inc(m_retired_);
+}
+
+void TaskPool::bind_telemetry(telemetry::MetricRegistry& reg,
+                              std::string_view prefix) {
+  m_inserts_ = &reg.counter(telemetry::path_join(prefix, "inserts"));
+  m_retired_ = &reg.counter(telemetry::path_join(prefix, "retired"));
+  m_peak_ = &reg.gauge(telemetry::path_join(prefix, "peak"));
+  m_occupancy_ = &reg.histogram(telemetry::path_join(prefix, "occupancy"));
 }
 
 }  // namespace nexus::hw

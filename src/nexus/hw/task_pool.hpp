@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 
 #include "nexus/task/task.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus::hw {
 
@@ -32,10 +34,19 @@ class TaskPool {
 
   void erase(TaskId id);
 
+  /// Register occupancy/lifecycle metrics under `prefix` (cold path; call
+  /// once before a run). Without this call the pool records nothing.
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
+
  private:
   std::size_t capacity_;
   std::unordered_map<TaskId, TaskDescriptor> slots_;
   std::uint64_t peak_ = 0;
+
+  telemetry::Counter* m_inserts_ = nullptr;   ///< descriptors accepted
+  telemetry::Counter* m_retired_ = nullptr;   ///< slots reclaimed (evictions)
+  telemetry::Gauge* m_peak_ = nullptr;        ///< high-water occupancy
+  telemetry::Histogram* m_occupancy_ = nullptr;  ///< size sampled per insert
 };
 
 }  // namespace nexus::hw

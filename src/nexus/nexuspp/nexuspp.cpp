@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus {
 
 NexusPP::NexusPP(const NexusPPConfig& cfg)
     : cfg_(cfg), clk_(cfg.freq_mhz), pool_(cfg.pool_capacity), table_(cfg.table) {}
+
+void NexusPP::bind_telemetry(telemetry::MetricRegistry& reg) {
+  pool_.bind_telemetry(reg, "nexus++/pool");
+  table_.bind_telemetry(reg, "nexus++/table");
+  depcounts_.bind_telemetry(reg, "nexus++/dep_counts");
+  m_tasks_in_ = &reg.counter("nexus++/tasks_in");
+  m_ready_out_ = &reg.counter("nexus++/ready_out");
+}
 
 void NexusPP::attach(Simulation& sim, RuntimeHost* host) {
   NEXUS_ASSERT(host != nullptr);
@@ -19,6 +29,7 @@ Tick NexusPP::submit(Simulation& sim, const TaskDescriptor& task) {
     return kSubmitBlocked;
   }
   ++tasks_in_;
+  telemetry::inc(m_tasks_in_);
   pool_.insert(task);
   // Input Parser: the whole task must be received before the insert stage
   // sees it (header + two packets per address), then crosses the stage FIFO.
@@ -53,6 +64,7 @@ void NexusPP::handle(Simulation& sim, const Event& ev) {
       break;
     case kReadyDelivered:
       ++ready_out_;
+      telemetry::inc(m_ready_out_);
       host_->task_ready(sim, static_cast<TaskId>(ev.a));
       break;
     default:

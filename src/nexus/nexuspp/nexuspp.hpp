@@ -55,10 +55,13 @@ class NexusPP final : public TaskManagerModel, public Component {
   Tick submit(Simulation& sim, const TaskDescriptor& task) override;
   Tick notify_finished(Simulation& sim, TaskId id) override;
   [[nodiscard]] bool supports_taskwait_on() const override { return false; }
+  /// Registers pool/table/dep-counts metrics under "nexus++/".
+  void bind_telemetry(telemetry::MetricRegistry& reg) override;
   [[nodiscard]] const char* name() const override { return "nexus++"; }
 
   // Component
   void handle(Simulation& sim, const Event& ev) override;
+  [[nodiscard]] const char* telemetry_label() const override { return "npp"; }
 
   // --- introspection for tests and analysis benches ---
   struct Stats {
@@ -115,6 +118,9 @@ class NexusPP final : public TaskManagerModel, public Component {
   std::uint64_t tasks_in_ = 0;
   std::uint64_t ready_out_ = 0;
   Tick insert_busy_ = 0;
+
+  telemetry::Counter* m_tasks_in_ = nullptr;
+  telemetry::Counter* m_ready_out_ = nullptr;
 };
 
 }  // namespace nexus

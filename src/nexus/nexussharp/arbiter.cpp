@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus {
 
 const char* to_string(ArbiterPolicy p) {
@@ -30,16 +32,30 @@ void SharpArbiter::attach(Simulation& sim, RuntimeHost* host) {
   self_ = sim.add_component(this);
 }
 
+void SharpArbiter::bind_telemetry(telemetry::MetricRegistry& reg,
+                                  std::string_view prefix) {
+  depcounts_.bind_telemetry(reg, telemetry::path_join(prefix, "dep_counts"));
+  m_grants_ready_ = &reg.counter(telemetry::path_join(prefix, "grants_ready"));
+  m_grants_wait_ = &reg.counter(telemetry::path_join(prefix, "grants_wait"));
+  m_grants_dep_ = &reg.counter(telemetry::path_join(prefix, "grants_dep"));
+  m_conflicts_ = &reg.counter(telemetry::path_join(prefix, "conflicts"));
+  m_retries_ = &reg.counter(telemetry::path_join(prefix, "retries"));
+  m_ready_depth_ = &reg.histogram(telemetry::path_join(prefix, "ready_q_depth"));
+  m_wait_depth_ = &reg.histogram(telemetry::path_join(prefix, "wait_q_depth"));
+}
+
 void SharpArbiter::handle(Simulation& sim, const Event& ev) {
   switch (ev.op) {
     case kReady:
       ready_q_.push_back(static_cast<TaskId>(ev.a));
       // A single-param ready record supersedes any gathering state.
       sim_tasks_.erase(static_cast<TaskId>(ev.a));
+      telemetry::record(m_ready_depth_, ready_q_.size());
       pump(sim);
       break;
     case kWait:
       wait_q_.push_back(static_cast<TaskId>(ev.a));
+      telemetry::record(m_wait_depth_, wait_q_.size());
       pump(sim);
       break;
     case kDep:
@@ -76,6 +92,7 @@ void SharpArbiter::handle(Simulation& sim, const Event& ev) {
 void SharpArbiter::pump(Simulation& sim) {
   const Tick now = sim.now();
   if (now < port_free_) {
+    telemetry::inc(m_retries_);
     if (!pump_pending_) {
       pump_pending_ = true;
       sim.schedule(port_free_, self_, kPump);
@@ -111,12 +128,19 @@ void SharpArbiter::pump(Simulation& sim) {
   }
   if (pick == kClsNone) return;
 
+  // A conflict: more than one buffer class competed for this grant — the
+  // contention the service-priority policy (and its ablation) is about.
+  const int pending = (ready_q_.empty() ? 0 : 1) + (wait_q_.empty() ? 0 : 1) +
+                      (dep_pending() ? 1 : 0);
+  if (pending > 1) telemetry::inc(m_conflicts_);
+
   Tick cost = 0;
   switch (pick) {
     case kClsReady: {
       const TaskId id = ready_q_.front();
       ready_q_.pop_front();
       cost = cycles(cfg_.arb_ready_cycles);
+      telemetry::inc(m_grants_ready_);
       to_writeback(sim, now + cost, id);
       break;
     }
@@ -126,6 +150,7 @@ void SharpArbiter::pump(Simulation& sim) {
       const TaskId id = wait_q_.front();
       wait_q_.pop_front();
       cost = cycles(cfg_.arb_wait_cycles);
+      telemetry::inc(m_grants_wait_);
       const auto it = sim_tasks_.find(id);
       if (it != sim_tasks_.end()) {
         // Kick raced ahead of (or into) the gathering phase: absorb it in
@@ -142,6 +167,7 @@ void SharpArbiter::pump(Simulation& sim) {
       // buffer in parallel: "the arbiter consumes only two cycles, to
       // collect the results of all the task graphs" (Section IV-D).
       cost = cycles(cfg_.arb_dep_cycles);
+      telemetry::inc(m_grants_dep_);
       for (auto& q : dep_q_) {
         if (q.empty()) continue;
         const std::uint64_t rec = q.front();

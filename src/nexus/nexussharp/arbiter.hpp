@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "nexus/hw/dep_counts_table.hpp"
 #include "nexus/nexussharp/config.hpp"
@@ -45,6 +47,14 @@ class SharpArbiter final : public Component {
   };
 
   void handle(Simulation& sim, const Event& ev) override;
+
+  [[nodiscard]] const char* telemetry_label() const override {
+    return "arbiter";
+  }
+
+  /// Register grant/conflict/queue metrics (and the dep-counts table's)
+  /// under `prefix`.
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
   // --- stats ---
   [[nodiscard]] std::uint64_t ready_delivered() const { return delivered_; }
@@ -92,6 +102,14 @@ class SharpArbiter final : public Component {
   std::uint64_t delivered_ = 0;
   Tick busy_ = 0;
   std::uint64_t peak_sim_tasks_ = 0;
+
+  telemetry::Counter* m_grants_ready_ = nullptr;  ///< Ready Tasks grants
+  telemetry::Counter* m_grants_wait_ = nullptr;   ///< Waiting Tasks grants
+  telemetry::Counter* m_grants_dep_ = nullptr;    ///< Dep Counts gather grants
+  telemetry::Counter* m_conflicts_ = nullptr;  ///< grants with >1 class pending
+  telemetry::Counter* m_retries_ = nullptr;    ///< pumps deferred on busy port
+  telemetry::Histogram* m_ready_depth_ = nullptr;  ///< Ready Tasks buffer depth
+  telemetry::Histogram* m_wait_depth_ = nullptr;   ///< Waiting Tasks depth
 };
 
 }  // namespace nexus::detail

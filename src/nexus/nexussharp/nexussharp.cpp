@@ -1,5 +1,9 @@
 #include "nexus/nexussharp/nexussharp.hpp"
 
+#include <string>
+
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus {
 
 NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy)
@@ -15,6 +19,19 @@ NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy
   arbiter_ = std::make_unique<detail::SharpArbiter>(cfg_, arbiter_policy);
   for (std::uint32_t i = 0; i < cfg.num_task_graphs; ++i)
     tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i, arbiter_.get()));
+}
+
+void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
+  pool_.bind_telemetry(reg, "nexus#/pool");
+  arbiter_->bind_telemetry(reg, "nexus#/arbiter");
+  m_route_.assign(cfg_.num_task_graphs, nullptr);
+  for (std::uint32_t i = 0; i < cfg_.num_task_graphs; ++i) {
+    const std::string tg = "nexus#/tg" + std::to_string(i);
+    tgs_[i]->bind_telemetry(reg, tg);
+    m_route_[i] = &reg.counter(tg + "/routed");
+  }
+  m_tasks_in_ = &reg.counter("nexus#/tasks_in");
+  m_finishes_ = &reg.counter("nexus#/finishes");
 }
 
 void NexusSharp::attach(Simulation& sim, RuntimeHost* host) {
@@ -35,6 +52,7 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
     return kSubmitBlocked;
   }
   ++tasks_in_;
+  telemetry::inc(m_tasks_in_);
   pool_.insert(task);
 
   const auto nparams = static_cast<std::int64_t>(task.num_params());
@@ -60,8 +78,9 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
     arg.addr = p.addr;
     arg.is_writer = is_write(p.dir);
     arg.single_param = single;
-    sim.schedule(arrival + cycles(cfg_.fifo_latency),
-                 tgs_[distributor_.target(p.addr)]->component_id(),
+    const std::uint32_t tgt = distributor_.target(p.addr);
+    if (!m_route_.empty()) m_route_[tgt]->inc();
+    sim.schedule(arrival + cycles(cfg_.fifo_latency), tgs_[tgt]->component_id(),
                  detail::TaskGraphUnit::kNewArg, detail::TaskGraphUnit::pack(arg),
                  p.addr);
   }
@@ -78,6 +97,7 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
   // Finish notification shares the Nexus IO / Input Parser with
   // submissions; the parser then reads the task's I/O list from the Task
   // Pool and redistributes it to the Finished Args buffers.
+  telemetry::inc(m_finishes_);
   const TaskDescriptor& task = pool_.get(id);
   const auto nparams = static_cast<std::int64_t>(task.num_params());
   const Tick recv_done = io_.acquire(sim.now(), cycles(cfg_.finish_receive));
@@ -98,8 +118,9 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
     arg.task = id;
     arg.addr = p.addr;
     arg.is_writer = is_write(p.dir);
-    sim.schedule(arrival + cycles(cfg_.fifo_latency),
-                 tgs_[distributor_.target(p.addr)]->component_id(),
+    const std::uint32_t tgt = distributor_.target(p.addr);
+    if (!m_route_.empty()) m_route_[tgt]->inc();
+    sim.schedule(arrival + cycles(cfg_.fifo_latency), tgs_[tgt]->component_id(),
                  detail::TaskGraphUnit::kFinishedArg,
                  detail::TaskGraphUnit::pack(arg), p.addr);
   }

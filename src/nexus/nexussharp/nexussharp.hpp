@@ -38,10 +38,14 @@ class NexusSharp final : public TaskManagerModel, public Component {
   Tick notify_finished(Simulation& sim, TaskId id) override;
   [[nodiscard]] bool supports_taskwait_on() const override { return true; }
   [[nodiscard]] Tick taskwait_on_query_cost() const override;
+  /// Registers the whole block's metrics under "nexus#/": task pool, per-TG
+  /// units (tables, queue depths, routing balance) and the arbiter.
+  void bind_telemetry(telemetry::MetricRegistry& reg) override;
   [[nodiscard]] const char* name() const override { return "nexus#"; }
 
   // Component (front-end events)
   void handle(Simulation& sim, const Event& ev) override;
+  [[nodiscard]] const char* telemetry_label() const override { return "io"; }
 
   // --- introspection ---
   struct Stats {
@@ -78,6 +82,10 @@ class NexusSharp final : public TaskManagerModel, public Component {
 
   bool master_blocked_ = false;
   std::uint64_t tasks_in_ = 0;
+
+  telemetry::Counter* m_tasks_in_ = nullptr;
+  telemetry::Counter* m_finishes_ = nullptr;
+  std::vector<telemetry::Counter*> m_route_;  ///< params routed per graph
 };
 
 }  // namespace nexus

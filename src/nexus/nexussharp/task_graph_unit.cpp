@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nexus/telemetry/registry.hpp"
+
 namespace nexus::detail {
 
 TaskGraphUnit::TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
@@ -12,6 +14,15 @@ TaskGraphUnit::TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
 }
 
 void TaskGraphUnit::attach(Simulation& sim) { self_ = sim.add_component(this); }
+
+void TaskGraphUnit::bind_telemetry(telemetry::MetricRegistry& reg,
+                                   std::string_view prefix) {
+  table_.bind_telemetry(reg, telemetry::path_join(prefix, "table"));
+  m_new_depth_ = &reg.histogram(telemetry::path_join(prefix, "new_q_depth"));
+  m_fin_depth_ = &reg.histogram(telemetry::path_join(prefix, "fin_q_depth"));
+  m_args_ = &reg.counter(telemetry::path_join(prefix, "args"));
+  m_kicks_ = &reg.counter(telemetry::path_join(prefix, "kicks"));
+}
 
 std::uint64_t TaskGraphUnit::pack(const Arg& a) {
   return static_cast<std::uint64_t>(a.task) |
@@ -33,10 +44,12 @@ void TaskGraphUnit::handle(Simulation& sim, const Event& ev) {
     case kNewArg:
       new_q_.push_back(unpack(ev.a, ev.b));
       peak_queue_ = std::max<std::uint64_t>(peak_queue_, new_q_.size());
+      telemetry::record(m_new_depth_, new_q_.size());
       pump(sim);
       break;
     case kFinishedArg:
       fin_q_.push_back(unpack(ev.a, ev.b));
+      telemetry::record(m_fin_depth_, fin_q_.size());
       pump(sim);
       break;
     case kPump:
@@ -72,6 +85,7 @@ void TaskGraphUnit::pump(Simulation& sim) {
   }
 
   ++processed_;
+  telemetry::inc(m_args_);
   port_free_ = now + cost;
   busy_ += cost;
   if (!fin_q_.empty() || !new_q_.empty()) {
@@ -93,6 +107,7 @@ Tick TaskGraphUnit::serve_finished(Simulation& sim, const Arg& a) {
   const Tick done = sim.now() + cost;
   // Kicked waiters land in the Waiting Tasks buffer; the arbiter sees them
   // after the FIFO visibility latency.
+  telemetry::inc(m_kicks_, kicked_scratch_.size());
   for (const auto& w : kicked_scratch_) {
     sim.schedule(done + cycles(cfg_.fifo_latency), arbiter_->component_id(),
                  SharpArbiter::kWait, w.task);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string_view>
 #include <vector>
 
 #include "nexus/hw/task_graph_table.hpp"
@@ -49,6 +50,11 @@ class TaskGraphUnit final : public Component {
 
   void handle(Simulation& sim, const Event& ev) override;
 
+  [[nodiscard]] const char* telemetry_label() const override { return "tg"; }
+
+  /// Register queue-depth/service metrics (and the table's) under `prefix`.
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
+
   // --- stats ---
   [[nodiscard]] const hw::TaskGraphTable& table() const { return table_; }
   [[nodiscard]] Tick busy_time() const { return busy_; }
@@ -83,6 +89,11 @@ class TaskGraphUnit final : public Component {
   Tick busy_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t peak_queue_ = 0;
+
+  telemetry::Histogram* m_new_depth_ = nullptr;  ///< New Args depth per push
+  telemetry::Histogram* m_fin_depth_ = nullptr;  ///< Finished Args depth
+  telemetry::Counter* m_args_ = nullptr;         ///< args served
+  telemetry::Counter* m_kicks_ = nullptr;        ///< waiters kicked
 };
 
 }  // namespace nexus::detail

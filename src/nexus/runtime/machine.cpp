@@ -3,7 +3,7 @@
 namespace nexus {
 
 WorkerPool::WorkerPool(std::uint32_t n)
-    : busy_until_(n, 0), is_free_(n, true) {
+    : busy_until_(n, 0), core_busy_(n, 0), is_free_(n, true) {
   NEXUS_ASSERT_MSG(n > 0, "need at least one worker");
   free_.reserve(n);
   // Claim lowest-numbered workers first (deterministic dispatch order).
@@ -22,6 +22,7 @@ void WorkerPool::occupy(std::uint32_t w, Tick start, Tick end) {
   NEXUS_ASSERT(w < size() && !is_free_[w]);
   NEXUS_ASSERT(end >= start);
   busy_until_[w] = end;
+  core_busy_[w] += end - start;
   total_busy_ += end - start;
 }
 

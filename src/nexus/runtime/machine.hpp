@@ -34,8 +34,15 @@ class WorkerPool {
 
   [[nodiscard]] Tick total_busy() const { return total_busy_; }
 
+  /// Accumulated execution time of core `w` (for per-core utilization).
+  [[nodiscard]] Tick core_busy(std::uint32_t w) const {
+    NEXUS_ASSERT(w < size());
+    return core_busy_[w];
+  }
+
  private:
   std::vector<Tick> busy_until_;
+  std::vector<Tick> core_busy_;
   std::vector<std::uint32_t> free_;
   std::vector<bool> is_free_;
   Tick total_busy_ = 0;

@@ -15,6 +15,7 @@
 
 #include "nexus/sim/simulation.hpp"
 #include "nexus/task/task.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus {
 
@@ -66,6 +67,11 @@ class TaskManagerModel {
 
   /// Extra latency for a supported taskwait_on query round trip.
   [[nodiscard]] virtual Tick taskwait_on_query_cost() const { return 0; }
+
+  /// Register the manager's internal metrics (queue depths, arbitration
+  /// counts, table fill, ...) with `reg`. Called once, before attach, when
+  /// the run collects telemetry; managers without internals keep the no-op.
+  virtual void bind_telemetry(telemetry::MetricRegistry& reg) { (void)reg; }
 
   [[nodiscard]] virtual const char* name() const = 0;
 };

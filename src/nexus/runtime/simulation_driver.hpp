@@ -14,6 +14,7 @@
 #include "nexus/runtime/manager.hpp"
 #include "nexus/sim/simulation.hpp"
 #include "nexus/task/trace.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus {
 
@@ -42,6 +43,11 @@ struct RuntimeConfig {
   /// If nonnull, every executed task interval is appended (tests validate
   /// that no dependency or hazard is violated by a manager's schedule).
   std::vector<ScheduleEntry>* schedule_out = nullptr;
+
+  /// If nonnull, the run binds manager + DES kernel instrumentation to this
+  /// registry and fills runtime metrics (per-core busy/idle ticks, ready
+  /// queue depth, makespan) at the end. Null keeps every hot path a no-op.
+  telemetry::MetricRegistry* metrics = nullptr;
 };
 
 struct RunResult {
@@ -79,6 +85,10 @@ class Driver final : public Component, public RuntimeHost {
   // RuntimeHost
   void task_ready(Simulation& sim, TaskId id) override;
   void master_resume(Simulation& sim) override;
+
+  [[nodiscard]] const char* telemetry_label() const override {
+    return "driver";
+  }
 
  private:
   enum Op : std::uint32_t {
@@ -118,6 +128,9 @@ class Driver final : public Component, public RuntimeHost {
   std::uint64_t outstanding_ = 0;  ///< submitted but not finished
   std::uint64_t finished_count_ = 0;
   Tick last_activity_ = 0;
+
+  telemetry::Histogram* m_ready_depth_ = nullptr;  ///< host ready-queue depth
+  telemetry::Counter* m_dispatches_ = nullptr;
 };
 
 }  // namespace detail

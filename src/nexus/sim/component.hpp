@@ -12,6 +12,10 @@ class Component {
  public:
   virtual ~Component() = default;
   virtual void handle(Simulation& sim, const Event& ev) = 0;
+
+  /// Short identifier used in telemetry paths ("sim/c3_arbiter/..."); must
+  /// be a string literal or otherwise outlive the component.
+  [[nodiscard]] virtual const char* telemetry_label() const { return "comp"; }
 };
 
 }  // namespace nexus

@@ -11,6 +11,7 @@
 
 #include "nexus/common/fixed_ring.hpp"
 #include "nexus/sim/time.hpp"
+#include "nexus/telemetry/metrics.hpp"
 
 namespace nexus {
 
@@ -27,7 +28,13 @@ class LatencyFifo {
   [[nodiscard]] Tick latency() const { return latency_; }
 
   /// Push at time `now`. Caller must check !full().
-  void push(Tick now, T v) { ring_.push(Entry{now + latency_, std::move(v)}); }
+  void push(Tick now, T v) {
+    ring_.push(Entry{now + latency_, std::move(v)});
+    telemetry::record(m_depth_, ring_.size());
+  }
+
+  /// Record post-push depth into `h` (null detaches; no-op by default).
+  void bind_depth_telemetry(telemetry::Histogram* h) { m_depth_ = h; }
 
   /// Time at which the front item can be consumed (kTickInfinity if empty).
   [[nodiscard]] Tick front_ready_at() const {
@@ -50,6 +57,7 @@ class LatencyFifo {
   };
   FixedRing<Entry> ring_;
   Tick latency_;
+  telemetry::Histogram* m_depth_ = nullptr;
 };
 
 }  // namespace nexus

@@ -1,6 +1,9 @@
 #include "nexus/sim/simulation.hpp"
 
+#include <string>
+
 #include "nexus/common/assert.hpp"
+#include "nexus/telemetry/registry.hpp"
 
 namespace nexus {
 
@@ -21,6 +24,7 @@ void Simulation::run() {
   while (!queue_.empty() && !stopped_) {
     const Event ev = queue_.top();
     queue_.pop();
+    observe(ev);
     now_ = ev.t;
     ++processed_;
     components_[ev.comp]->handle(*this, ev);
@@ -32,12 +36,40 @@ bool Simulation::run_some(std::uint64_t max_events) {
   while (!queue_.empty() && !stopped_ && n < max_events) {
     const Event ev = queue_.top();
     queue_.pop();
+    observe(ev);
     now_ = ev.t;
     ++processed_;
     ++n;
     components_[ev.comp]->handle(*this, ev);
   }
   return !queue_.empty() && !stopped_;
+}
+
+void Simulation::bind_telemetry(telemetry::MetricRegistry& reg,
+                                std::string_view prefix) {
+  m_events_ = &reg.counter(telemetry::path_join(prefix, "events"));
+  m_advance_ = &reg.histogram(telemetry::path_join(prefix, "advance_ps"));
+  comp_events_.clear();
+  comp_gap_.clear();
+  comp_last_.assign(components_.size(), 0);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const std::string comp = "c" + std::to_string(i) + "_" +
+                             components_[i]->telemetry_label();
+    const std::string base = telemetry::path_join(prefix, comp);
+    comp_events_.push_back(&reg.counter(telemetry::path_join(base, "events")));
+    comp_gap_.push_back(&reg.histogram(telemetry::path_join(base, "gap_ps")));
+  }
+}
+
+void Simulation::observe_slow(const Event& ev) {
+  m_events_->inc();
+  m_advance_->record(static_cast<std::uint64_t>(ev.t - now_));
+  if (ev.comp < comp_events_.size()) {
+    comp_events_[ev.comp]->inc();
+    comp_gap_[ev.comp]->record(
+        static_cast<std::uint64_t>(ev.t - comp_last_[ev.comp]));
+    comp_last_[ev.comp] = ev.t;
+  }
 }
 
 }  // namespace nexus

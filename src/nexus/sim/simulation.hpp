@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <queue>
+#include <string_view>
 #include <vector>
 
 #include "nexus/sim/component.hpp"
 #include "nexus/sim/event.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus {
 
@@ -38,13 +40,33 @@ class Simulation {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  /// Register kernel metrics under `prefix`: total events, a histogram of
+  /// time advances, and per-component event counts plus inter-event sim-time
+  /// histograms ("<prefix>/c<i>_<label>/..."). Call after every component
+  /// has been added (attach time); later components are not covered.
+  void bind_telemetry(telemetry::MetricRegistry& reg,
+                      std::string_view prefix = "sim");
+
  private:
+  /// Per-event metric hook; a single null check when telemetry is unbound.
+  void observe(const Event& ev) {
+    if (m_events_ == nullptr) return;
+    observe_slow(ev);
+  }
+  void observe_slow(const Event& ev);
+
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Component*> components_;
   Tick now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+
+  telemetry::Counter* m_events_ = nullptr;
+  telemetry::Histogram* m_advance_ = nullptr;  ///< now() jumps, in ps
+  std::vector<telemetry::Counter*> comp_events_;
+  std::vector<telemetry::Histogram*> comp_gap_;  ///< per-component event gaps
+  std::vector<Tick> comp_last_;
 };
 
 }  // namespace nexus

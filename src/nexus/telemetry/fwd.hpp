@@ -1,0 +1,14 @@
+// Forward declarations for headers that hold metric pointers without
+// needing the telemetry definitions (instrumented classes bind in their
+// .cpp; the hot-path helpers live in metrics.hpp).
+#pragma once
+
+namespace nexus::telemetry {
+
+class MetricRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+struct Snapshot;
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,99 @@
+#include "nexus/telemetry/registry.hpp"
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::telemetry {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string path_join(std::string_view prefix, std::string_view name) {
+  if (prefix.empty()) return std::string(name);
+  if (name.empty()) return std::string(prefix);
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+MetricRegistry::Slot& MetricRegistry::slot_for(std::string_view path,
+                                               MetricKind kind) {
+  NEXUS_ASSERT_MSG(!path.empty(), "metric path must be non-empty");
+  NEXUS_ASSERT_MSG(path.front() != '/' && path.back() != '/',
+                   "metric path must not start or end with '/'");
+  const auto it = slots_.find(path);
+  if (it != slots_.end()) {
+    NEXUS_ASSERT_MSG(it->second.kind == kind,
+                     "metric path re-registered with a different kind");
+    return it->second;
+  }
+  Slot s;
+  s.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      s.index = static_cast<std::uint32_t>(counters_.size());
+      counters_.emplace_back();
+      break;
+    case MetricKind::kGauge:
+      s.index = static_cast<std::uint32_t>(gauges_.size());
+      gauges_.emplace_back();
+      break;
+    case MetricKind::kHistogram:
+      s.index = static_cast<std::uint32_t>(histograms_.size());
+      histograms_.emplace_back();
+      break;
+  }
+  return slots_.emplace(std::string(path), s).first->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view path) {
+  return counters_[slot_for(path, MetricKind::kCounter).index];
+}
+
+Gauge& MetricRegistry::gauge(std::string_view path) {
+  return gauges_[slot_for(path, MetricKind::kGauge).index];
+}
+
+Histogram& MetricRegistry::histogram(std::string_view path) {
+  return histograms_[slot_for(path, MetricKind::kHistogram).index];
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  Snapshot snap;
+  snap.values.reserve(slots_.size());
+  for (const auto& [path, slot] : slots_) {
+    MetricValue v;
+    v.path = path;
+    v.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        v.counter = counters_[slot.index].value();
+        break;
+      case MetricKind::kGauge:
+        v.gauge = gauges_[slot.index].value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = histograms_[slot.index];
+        v.hist.count = h.count();
+        v.hist.sum = h.sum();
+        v.hist.min = h.min();
+        v.hist.max = h.max();
+        for (std::uint32_t i = 0; i < Histogram::kBuckets; ++i)
+          if (h.bucket(i) > 0) v.hist.buckets.emplace_back(i, h.bucket(i));
+        break;
+      }
+    }
+    snap.values.push_back(std::move(v));
+  }
+  return snap;
+}
+
+}  // namespace nexus::telemetry

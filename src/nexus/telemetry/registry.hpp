@@ -1,0 +1,52 @@
+// The MetricRegistry: hierarchical, name-addressed metric storage.
+//
+// Paths are '/'-separated ("nexus#/tg0/new_q_depth"). Lookup by string
+// happens once, at bind time (cold); the returned reference is stable for
+// the registry's lifetime, so instrumented hot paths touch only the metric
+// object itself. Requesting an existing path with the same kind returns the
+// same object (so two components may share a counter); requesting it with a
+// different kind is an instrumentation bug and aborts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "nexus/telemetry/metrics.hpp"
+#include "nexus/telemetry/snapshot.hpp"
+
+namespace nexus::telemetry {
+
+class MetricRegistry {
+ public:
+  Counter& counter(std::string_view path);
+  Gauge& gauge(std::string_view path);
+  Histogram& histogram(std::string_view path);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Deep-copy the current state, sorted by path.
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  struct Slot {
+    MetricKind kind = MetricKind::kCounter;
+    std::uint32_t index = 0;
+  };
+
+  Slot& slot_for(std::string_view path, MetricKind kind);
+
+  /// Sorted map gives snapshots and reports deterministic path order;
+  /// deques keep metric addresses stable as the registry grows.
+  std::map<std::string, Slot, std::less<>> slots_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+/// Join two path segments with '/' (either side may be empty).
+std::string path_join(std::string_view prefix, std::string_view name);
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,59 @@
+// A Snapshot is the frozen, self-contained state of a MetricRegistry:
+// plain data sorted by path, safe to keep after the registry (and the run
+// that produced it) is gone. Sweeps attach one per point; exporters consume
+// it without touching live metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nexus::telemetry {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind k);
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  /// Nonzero buckets only: (bucket index, count), ascending by index.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
+
+struct MetricValue {
+  std::string path;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  std::int64_t gauge = 0;     ///< kGauge
+  HistogramData hist;         ///< kHistogram
+};
+
+struct Snapshot {
+  std::vector<MetricValue> values;  ///< sorted by path
+
+  /// Lookup by exact path; nullptr if absent.
+  [[nodiscard]] const MetricValue* find(std::string_view path) const {
+    for (const auto& v : values)
+      if (v.path == path) return &v;
+    return nullptr;
+  }
+
+  /// Counter value at `path` (0 if absent — convenient for reports).
+  [[nodiscard]] std::uint64_t counter_at(std::string_view path) const {
+    const MetricValue* v = find(path);
+    return v != nullptr && v->kind == MetricKind::kCounter ? v->counter : 0;
+  }
+
+  /// Gauge value at `path` (0 if absent).
+  [[nodiscard]] std::int64_t gauge_at(std::string_view path) const {
+    const MetricValue* v = find(path);
+    return v != nullptr && v->kind == MetricKind::kGauge ? v->gauge : 0;
+  }
+};
+
+}  // namespace nexus::telemetry

@@ -36,7 +36,13 @@ TEST(Harness, IdealSweepSpeedupsAreSane) {
 TEST(Harness, SpeedupAtFindsLargestCoveredPoint) {
   Series s;
   s.label = "x";
-  s.points = {{1, 0, 1.0}, {8, 0, 5.0}, {32, 0, 9.0}};
+  const auto point = [](std::uint32_t cores, double speedup) {
+    SweepPoint p;
+    p.cores = cores;
+    p.speedup = speedup;
+    return p;
+  };
+  s.points = {point(1, 1.0), point(8, 5.0), point(32, 9.0)};
   EXPECT_DOUBLE_EQ(s.speedup_at(32), 9.0);
   EXPECT_DOUBLE_EQ(s.speedup_at(16), 5.0);
   EXPECT_DOUBLE_EQ(s.speedup_at(256), 9.0);
