@@ -9,7 +9,12 @@
 // Flags: --quick        granularities 1x1 and 8x8 only, cores {1,8,64,256}
 //        --csv          also emit CSV rows
 //        --granularity  restrict to one of 1,2,4,8
+//        --json=PATH    instead of the figure tables, write machine-readable
+//                       run records (Nexus# 1/6 TGs at test frequency, 8 and
+//                       32 cores per granularity) in the BENCH_*.json schema
+//        --timeline     attach sampled sim-time timelines to --json records
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "nexus/common/flags.hpp"
@@ -23,7 +28,9 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {{"quick", "reduced grid"},
                      {"csv", "emit csv"},
-                     {"granularity", "only this macroblock grouping (1/2/4/8)"}});
+                     {"granularity", "only this macroblock grouping (1/2/4/8)"},
+                     {"json", "write BENCH-schema run records to this file"},
+                     {"timeline", "attach sim-time timelines to --json records"}});
   const bool quick = flags.get_bool("quick", false);
   const bool csv = flags.get_bool("csv", false);
 
@@ -32,6 +39,35 @@ int main(int argc, char** argv) {
     groups = {static_cast<int>(flags.get_int("granularity", 1))};
   } else if (quick) {
     groups = {1, 8};
+  }
+
+  if (flags.has("json")) {
+    // Trajectory records: the TG-scaling claim distilled to its endpoints
+    // (1 TG vs the paper's best 6-TG point) at two core counts per
+    // granularity, with metrics and (optionally) timelines attached.
+    const telemetry::TimelineConfig tcfg = bench_timeline_config();
+    const telemetry::TimelineConfig* tl =
+        flags.get_bool("timeline", false) ? &tcfg : nullptr;
+    BenchRecordWriter out;
+    for (const int g : groups) {
+      const Trace tr = workloads::make_h264dec(workloads::h264_config(g));
+      const Tick base = ideal_baseline(tr);
+      char wl[32];
+      std::snprintf(wl, sizeof wl, "h264dec-%dx%d-10f", g, g);
+      for (const std::uint32_t tgs : {1u, 6u}) {
+        const ManagerSpec spec = ManagerSpec::nexussharp(tgs);
+        for (const std::uint32_t c : {8u, 32u}) {
+          const RunReport rep = run_once_report(tr, spec, c, {}, true, tl);
+          out.append(metrics_report_json("fig7", wl, spec.label, c,
+                                         rep.result.makespan,
+                                         rep.result.speedup_vs(base),
+                                         rep.metrics.get(), rep.timeline.get()));
+          std::fprintf(stderr, "[fig7] %s %s %3u cores: %8.2f ms\n", wl,
+                       spec.label.c_str(), c, to_ms(rep.result.makespan));
+        }
+      }
+    }
+    return out.write(flags.get("json", "")) ? 0 : 2;
   }
   const std::vector<std::uint32_t> cores =
       quick ? std::vector<std::uint32_t>{1, 8, 64, 256} : paper_cores_256();

@@ -8,6 +8,10 @@
 //        --csv         also emit CSV rows
 //        --host-cost-us X  sensitivity: per-message host interface cost for
 //                          the hardware managers (see DESIGN.md §5)
+//        --json=PATH   instead of the figure tables, write machine-readable
+//                      run records (Nexus++ and Nexus# 6 TGs, 8 and 32
+//                      cores per benchmark) in the BENCH_*.json schema
+//        --timeline    attach sampled sim-time timelines to --json records
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,7 +28,9 @@ int main(int argc, char** argv) {
                     {{"quick", "reduced grid"},
                      {"bench", "single benchmark name"},
                      {"csv", "emit csv"},
-                     {"host-cost-us", "per-message host cost in us (hw managers)"}});
+                     {"host-cost-us", "per-message host cost in us (hw managers)"},
+                     {"json", "write BENCH-schema run records to this file"},
+                     {"timeline", "attach sim-time timelines to --json records"}});
   const bool quick = flags.get_bool("quick", false);
   const bool csv = flags.get_bool("csv", false);
   const double host_cost_us = flags.get_double("host-cost-us", 0.0);
@@ -46,6 +52,33 @@ int main(int argc, char** argv) {
 
   RuntimeConfig hw_rc;
   hw_rc.host_message_cost = us(host_cost_us);
+
+  if (flags.has("json")) {
+    // Trajectory records: both hardware managers head-to-head per benchmark
+    // at two core counts, with metrics and (optionally) timelines.
+    const telemetry::TimelineConfig tcfg = bench_timeline_config();
+    const telemetry::TimelineConfig* tl =
+        flags.get_bool("timeline", false) ? &tcfg : nullptr;
+    BenchRecordWriter out;
+    for (const auto& name : benches) {
+      const Trace tr = workloads::make_workload(name);
+      const Tick base = ideal_baseline(tr);
+      for (const ManagerSpec& spec :
+           {ManagerSpec::nexuspp_default(), ManagerSpec::nexussharp(6)}) {
+        for (const std::uint32_t c : {8u, 32u}) {
+          const RunReport rep = run_once_report(tr, spec, c, hw_rc, true, tl);
+          out.append(metrics_report_json("fig8", name, spec.label, c,
+                                         rep.result.makespan,
+                                         rep.result.speedup_vs(base),
+                                         rep.metrics.get(), rep.timeline.get()));
+          std::fprintf(stderr, "[fig8] %-18s %-22s %3u cores: %8.2f ms\n",
+                       name.c_str(), spec.label.c_str(), c,
+                       to_ms(rep.result.makespan));
+        }
+      }
+    }
+    return out.write(flags.get("json", "")) ? 0 : 2;
+  }
 
   for (const auto& name : benches) {
     const Trace tr = workloads::make_workload(name);

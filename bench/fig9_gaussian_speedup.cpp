@@ -10,7 +10,12 @@
 // Flags: --quick     sizes {250,1000}, cores {1,8,64}
 //        --max-n     largest matrix size to run (default 3000)
 //        --csv       emit CSV rows
+//        --json=PATH instead of the figure tables, write machine-readable
+//                    run records (Nexus++, Nexus# 1/2 TGs at 100 MHz, 8 and
+//                    64 cores per matrix size) in the BENCH_*.json schema
+//        --timeline  attach sampled sim-time timelines to --json records
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "nexus/common/flags.hpp"
@@ -24,7 +29,9 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {{"quick", "reduced grid"},
                      {"max-n", "largest matrix size"},
-                     {"csv", "emit csv"}});
+                     {"csv", "emit csv"},
+                     {"json", "write BENCH-schema run records to this file"},
+                     {"timeline", "attach sim-time timelines to --json records"}});
   const bool quick = flags.get_bool("quick", false);
   const bool csv = flags.get_bool("csv", false);
   const auto max_n = flags.get_int("max-n", 3000);
@@ -33,6 +40,39 @@ int main(int argc, char** argv) {
   if (quick) sizes = {250, 1000};
   const std::vector<std::uint32_t> cores =
       quick ? std::vector<std::uint32_t>{1, 8, 64} : paper_cores_64();
+
+  if (flags.has("json")) {
+    // Trajectory records against the paper's baseline (Nexus++ single-core):
+    // the dummy-entry worst case under all three manager configurations.
+    const telemetry::TimelineConfig tcfg = bench_timeline_config();
+    const telemetry::TimelineConfig* tl =
+        flags.get_bool("timeline", false) ? &tcfg : nullptr;
+    BenchRecordWriter out;
+    for (const int n : sizes) {
+      if (n > max_n) continue;
+      const Trace tr = workloads::make_gaussian({.n = n});
+      const std::string wl = "gaussian-" + std::to_string(n);
+      const Tick base = run_once(tr, ManagerSpec::nexuspp_default(), 1);
+      std::vector<ManagerSpec> specs{ManagerSpec::nexuspp_default(),
+                                     ManagerSpec::nexussharp(1, 100.0),
+                                     ManagerSpec::nexussharp(2, 100.0)};
+      specs[1].label = "nexus#-1TG@100MHz";
+      specs[2].label = "nexus#-2TG@100MHz";
+      for (const ManagerSpec& spec : specs) {
+        for (const std::uint32_t c : {8u, 64u}) {
+          const RunReport rep = run_once_report(tr, spec, c, {}, true, tl);
+          out.append(metrics_report_json("fig9", wl, spec.label, c,
+                                         rep.result.makespan,
+                                         rep.result.speedup_vs(base),
+                                         rep.metrics.get(), rep.timeline.get()));
+          std::fprintf(stderr, "[fig9] %-13s %-18s %3u cores: %8.2f ms\n",
+                       wl.c_str(), spec.label.c_str(), c,
+                       to_ms(rep.result.makespan));
+        }
+      }
+    }
+    return out.write(flags.get("json", "")) ? 0 : 2;
+  }
 
   for (const int n : sizes) {
     if (n > max_n) continue;

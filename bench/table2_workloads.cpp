@@ -15,7 +15,6 @@
 #include "nexus/common/table.hpp"
 #include "nexus/harness/experiment.hpp"
 #include "nexus/task/trace_stats.hpp"
-#include "nexus/telemetry/writers.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 using namespace nexus;
@@ -93,8 +92,7 @@ int main(int argc, char** argv) {
     for (const auto& row : kPaper) selected.push_back(row.name);
 
   const harness::ManagerSpec spec = harness::ManagerSpec::nexussharp(6);
-  std::string doc = "[";
-  bool first = true;
+  harness::BenchRecordWriter out;
   for (const auto& name : selected) {
     if (!is_workload(name)) {
       std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
@@ -104,23 +102,13 @@ int main(int argc, char** argv) {
     const Tick baseline = harness::ideal_baseline(tr);
     const harness::RunReport rep =
         harness::run_once_report(tr, spec, cores, {}, /*collect_metrics=*/true);
-    if (!first) doc += ",";
-    first = false;
-    doc += "\n";
-    doc += harness::metrics_report_json(
+    out.append(harness::metrics_report_json(
         "table2", name, spec.label, cores, rep.result.makespan,
-        rep.result.speedup_vs(baseline), rep.metrics.get());
+        rep.result.speedup_vs(baseline), rep.metrics.get()));
     std::printf("ran %-18s %8.2f ms makespan, %6.2fx speedup at %u cores\n",
                 name.c_str(), to_ms(rep.result.makespan),
                 rep.result.speedup_vs(baseline), cores);
   }
-  doc += "\n]\n";
-
-  const std::string path = flags.get("json", "");
-  if (!telemetry::write_text_file(path, doc)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 2;
-  }
-  std::printf("\nwrote %zu record(s) to %s\n", selected.size(), path.c_str());
-  return 0;
+  std::printf("\n");
+  return out.write(flags.get("json", "")) ? 0 : 2;
 }

@@ -6,26 +6,34 @@
 #   scripts/check.sh --sanitize      # additional ASan/UBSan build + all tests
 #   scripts/check.sh --label unit    # run only suites with the given CTest label
 #   scripts/check.sh --bench         # additionally smoke-run every bench binary
-#                                    # (quick traces) and regenerate
-#                                    # BENCH_table2.json
+#                                    # (quick traces) and regenerate the
+#                                    # BENCH_*.json trajectory records
+#   scripts/check.sh --diff          # --bench, then nexus-perfdiff each
+#                                    # regenerated BENCH_*.json against the
+#                                    # pre-run copy (nonzero on regression)
 #
-# Exit code is nonzero if any configure, build, test, or smoke step fails.
+# Exit code is nonzero if any configure, build, test, smoke, or diff step
+# fails.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 SANITIZE=0
 BENCH=0
+DIFF=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize) SANITIZE=1 ;;
     --bench) BENCH=1 ;;
+    --diff) BENCH=1; DIFF=1 ;;
     --label) LABEL="${2:?--label needs an argument (unit|integration)}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -47,11 +55,25 @@ run_pass() {
 # NEXUS_WERROR=OFF while iterating) can't silently weaken the tier-1 gate.
 run_pass build -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNEXUS_SANITIZE=OFF -DNEXUS_WERROR=ON
 
+echo "==> docs link check"
+scripts/docs_link_check.sh
+
 if [[ "${SANITIZE}" -eq 1 ]]; then
   run_pass build-asan -DNEXUS_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
 fi
 
 if [[ "${BENCH}" -eq 1 ]]; then
+  # With --diff, stash the pre-run (normally: committed) record files so the
+  # regenerated ones can be compared against them afterwards.
+  BASE_DIR=build/perfdiff-baseline
+  if [[ "${DIFF}" -eq 1 ]]; then
+    rm -rf "${BASE_DIR}"
+    mkdir -p "${BASE_DIR}"
+    for f in "${BENCH_RECORDS[@]}"; do
+      [[ -f "${f}" ]] && cp "${f}" "${BASE_DIR}/${f}"
+    done
+  fi
+
   # Smoke-run every bench/example binary on its quickest configuration so
   # bench bit-rot fails here instead of lingering until someone reproduces a
   # paper figure. Output is discarded; a nonzero exit fails the check.
@@ -72,9 +94,25 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/multiapp" --quick
   smoke "${B}/power_energy"
   smoke "${E}/metrics_report" --workload gaussian-250 --cores 8
-  # The machine-readable Table II trajectory record (all eight workloads).
+  # The machine-readable trajectory records: Table II plus the fig7/8/9
+  # speedup benches with sampled sim-time timelines attached.
   smoke "${B}/table2_workloads" --json BENCH_table2.json
-  echo "==> wrote BENCH_table2.json"
+  smoke "${B}/fig7_h264_tg_scaling" --quick --json BENCH_fig7.json --timeline
+  smoke "${B}/fig8_starbench" --quick --json BENCH_fig8.json --timeline
+  smoke "${B}/fig9_gaussian_speedup" --quick --json BENCH_fig9.json --timeline
+  echo "==> wrote ${BENCH_RECORDS[*]}"
+
+  if [[ "${DIFF}" -eq 1 ]]; then
+    echo "==> perfdiff vs pre-run baselines"
+    for f in "${BENCH_RECORDS[@]}"; do
+      if [[ -f "${BASE_DIR}/${f}" ]]; then
+        echo "--> nexus-perfdiff ${f}"
+        build/tools/nexus-perfdiff --quiet "${BASE_DIR}/${f}" "${f}"
+      else
+        echo "--> ${f}: no baseline to diff against (new record file)"
+      fi
+    done
+  fi
 fi
 
 echo "==> all checks passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "nexus/common/table.hpp"
 #include "nexus/cost/fpga_model.hpp"
@@ -82,11 +83,17 @@ Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
 
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base,
-                          bool collect_metrics) {
+                          bool collect_metrics,
+                          const telemetry::TimelineConfig* timeline) {
   RuntimeConfig rc = base;
   rc.workers = cores;
   telemetry::MetricRegistry reg;
-  if (collect_metrics) rc.metrics = &reg;
+  if (collect_metrics || timeline != nullptr) rc.metrics = &reg;
+  std::unique_ptr<telemetry::TimelineRecorder> rec;
+  if (timeline != nullptr) {
+    rec = std::make_unique<telemetry::TimelineRecorder>(reg, *timeline);
+    rc.timeline = rec.get();
+  }
   RunReport rep;
   switch (spec.kind) {
     case ManagerSpec::Kind::kIdeal: {
@@ -110,23 +117,27 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
       break;
     }
   }
-  if (collect_metrics)
+  if (rc.metrics != nullptr)
     rep.metrics = std::make_shared<telemetry::Snapshot>(reg.snapshot());
+  if (rec != nullptr)
+    rep.timeline = std::make_shared<telemetry::Timeline>(rec->freeze());
   return rep;
 }
 
 Series sweep(const Trace& trace, const ManagerSpec& spec,
              const std::vector<std::uint32_t>& cores, Tick baseline,
-             const RuntimeConfig& base, bool collect_metrics) {
+             const RuntimeConfig& base, bool collect_metrics,
+             const telemetry::TimelineConfig* timeline) {
   Series s;
   s.label = spec.label;
   for (const std::uint32_t c : cores) {
     SweepPoint p;
     p.cores = c;
-    if (collect_metrics) {
-      RunReport rep = run_once_report(trace, spec, c, base, true);
+    if (collect_metrics || timeline != nullptr) {
+      RunReport rep = run_once_report(trace, spec, c, base, true, timeline);
       p.makespan = rep.result.makespan;
       p.metrics = std::move(rep.metrics);
+      p.timeline = std::move(rep.timeline);
     } else {
       p.makespan = run_once(trace, spec, c, base);
     }
@@ -138,12 +149,35 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
   return s;
 }
 
+telemetry::TimelineConfig bench_timeline_config() {
+  telemetry::TimelineConfig cfg;
+  cfg.interval_ps = us(100.0);
+  cfg.max_points = 192;
+  cfg.select = {
+      // Throughput: task in/finish flows through each manager front-end.
+      "nexus#/tasks_in", "nexus#/finishes", "nexus++/tasks_in",
+      "nexus++/ready_out",
+      // Contention: arbiter conflict bursts, dep-count parks, table stalls
+      // ('**' so the per-TGU nexus#/tg<i>/table/stalls paths match too).
+      "nexus#/arbiter/conflicts", "nexus#/arbiter/retries",
+      "nexus#/arbiter/dep_counts/parked", "**/table/stalls",
+      // Occupancy transients: queue depths and pool fill.
+      "nexus#/arbiter/ready_q_depth", "nexus#/pool/occupancy",
+      "runtime/ready_q_depth",
+      // Routing balance over time and host dispatch activity.
+      "nexus#/tg*/routed", "runtime/dispatches", "sim/events",
+  };
+  return cfg;
+}
+
 std::string metrics_report_json(std::string_view bench, std::string_view workload,
                                 std::string_view manager, std::uint32_t cores,
                                 Tick makespan, double speedup,
-                                const telemetry::Snapshot* metrics) {
+                                const telemetry::Snapshot* metrics,
+                                const telemetry::Timeline* timeline) {
   telemetry::JsonWriter w;
   w.begin_object();
+  w.kv("schema", 2);
   w.kv("bench", bench);
   w.kv("workload", workload);
   w.kv("manager", manager);
@@ -156,8 +190,28 @@ std::string metrics_report_json(std::string_view bench, std::string_view workloa
   } else {
     w.begin_object().end_object();
   }
+  if (timeline != nullptr) {
+    w.key("timeline");
+    telemetry::append_timeline(w, *timeline);
+  }
   w.end_object();
   return w.str();
+}
+
+void BenchRecordWriter::append(std::string_view record_json) {
+  doc_ += count_ == 0 ? "\n" : ",\n";
+  doc_ += record_json;
+  ++count_;
+}
+
+bool BenchRecordWriter::write(const std::string& path) const {
+  const std::string doc = doc_ + "\n]\n";
+  if (!telemetry::write_text_file(path, doc)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %zu record(s) to %s\n", count_, path.c_str());
+  return true;
 }
 
 void print_series(const std::string& title, const std::vector<std::uint32_t>& cores,

@@ -15,6 +15,7 @@
 #include "nexus/runtime/simulation_driver.hpp"
 #include "nexus/task/trace.hpp"
 #include "nexus/telemetry/snapshot.hpp"
+#include "nexus/telemetry/timeline.hpp"
 
 namespace nexus::harness {
 
@@ -47,6 +48,8 @@ struct SweepPoint {
   /// Telemetry snapshot of this point's run; null unless the sweep was
   /// asked to collect metrics.
   std::shared_ptr<const telemetry::Snapshot> metrics;
+  /// Sampled sim-time timeline; null unless a TimelineConfig was given.
+  std::shared_ptr<const telemetry::Timeline> timeline;
 };
 
 struct Series {
@@ -66,33 +69,68 @@ Tick ideal_baseline(const Trace& trace);
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base = {});
 
-/// A full run record: the result plus (optionally) a metric snapshot.
+/// A full run record: the result plus (optionally) a metric snapshot and a
+/// sampled timeline.
 struct RunReport {
   RunResult result;
   std::shared_ptr<const telemetry::Snapshot> metrics;  ///< null unless collected
+  std::shared_ptr<const telemetry::Timeline> timeline;  ///< null unless sampled
 };
 
 /// One measurement with full result + telemetry (fresh manager and registry
 /// per call; the ideal manager runs through the DES so runtime metrics
-/// exist for it too).
+/// exist for it too). A non-null `timeline` config attaches a
+/// TimelineRecorder for the run (implies metric collection) and freezes the
+/// sampled series into the report.
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base = {},
-                          bool collect_metrics = true);
+                          bool collect_metrics = true,
+                          const telemetry::TimelineConfig* timeline = nullptr);
 
 /// Sweep a core-count axis. `base.workers` is overwritten per point; with
-/// `collect_metrics` every point carries a telemetry snapshot.
+/// `collect_metrics` every point carries a telemetry snapshot, and a
+/// non-null `timeline` config additionally attaches a per-point timeline.
 Series sweep(const Trace& trace, const ManagerSpec& spec,
              const std::vector<std::uint32_t>& cores, Tick baseline,
-             const RuntimeConfig& base = {}, bool collect_metrics = false);
+             const RuntimeConfig& base = {}, bool collect_metrics = false,
+             const telemetry::TimelineConfig* timeline = nullptr);
+
+/// The timeline configuration shared by the bench binaries' --timeline
+/// mode: the load-bearing queue/conflict/throughput paths at 100 us initial
+/// resolution, capped at 192 rows (auto-coarsening keeps long runs covered).
+telemetry::TimelineConfig bench_timeline_config();
 
 /// One machine-readable per-run record for the BENCH_*.json trajectory:
-/// {"bench", "workload", "manager", "cores", "makespan", "speedup",
-///  "metrics": {...}} — makespan in integer picoseconds, metrics the flat
-/// snapshot object ({} when `metrics` is null).
+/// {"schema": 2, "bench", "workload", "manager", "cores", "makespan",
+///  "speedup", "metrics": {...}} — makespan in integer picoseconds, metrics
+/// the flat snapshot object ({} when `metrics` is null). A non-null
+/// `timeline` appends a "timeline" object (see append_timeline for its
+/// schema). The "schema" field versions the record format for
+/// nexus-perfdiff; bump it on breaking changes.
 std::string metrics_report_json(std::string_view bench, std::string_view workload,
                                 std::string_view manager, std::uint32_t cores,
                                 Tick makespan, double speedup,
-                                const telemetry::Snapshot* metrics);
+                                const telemetry::Snapshot* metrics,
+                                const telemetry::Timeline* timeline = nullptr);
+
+/// Accumulates metrics_report_json records into one BENCH_*.json array
+/// document — the shared bookkeeping of every bench binary's --json mode.
+class BenchRecordWriter {
+ public:
+  /// Append one record (a complete JSON object from metrics_report_json).
+  void append(std::string_view record_json);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Close the array and write it to `path` (truncating); also prints the
+  /// standard "wrote N record(s)" line on success or an error to stderr on
+  /// IO failure. Call once.
+  [[nodiscard]] bool write(const std::string& path) const;
+
+ private:
+  std::string doc_ = "[";
+  std::size_t count_ = 0;
+};
 
 /// Print a figure-style table: one row per core count, one column per
 /// series, plus (optionally) CSV to stdout.

@@ -1,0 +1,222 @@
+#include "nexus/harness/perfdiff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "nexus/telemetry/timeline.hpp"
+
+namespace nexus::harness {
+
+namespace {
+
+std::string fmt(const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, args...);
+  return buf;
+}
+
+std::string fmt_ms(std::int64_t ps) {
+  return fmt("%.3fms", static_cast<double>(ps) * 1e-9);
+}
+
+/// Signed relative change in percent; 0 when the baseline is 0.
+double pct_change(double base, double cand) {
+  return base != 0.0 ? (cand - base) / base * 100.0 : 0.0;
+}
+
+/// Rates are per-task ratios; treat differences below this as exact noise
+/// (a zero-conflict baseline should not flag on a 1e-12 artifact).
+constexpr double kRateEps = 1e-9;
+
+bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
+                      std::string* error) {
+  if (!v.is_object()) {
+    if (error != nullptr) *error = "record is not a JSON object";
+    return false;
+  }
+  const telemetry::JsonValue* schema = v.find("schema");
+  out->schema = schema != nullptr ? static_cast<int>(schema->int_or(1)) : 1;
+  if (out->schema < 1 || out->schema > kBenchRecordSchema) {
+    if (error != nullptr)
+      *error = "unknown record schema version " + std::to_string(out->schema) +
+               " (this tool understands <= " +
+               std::to_string(kBenchRecordSchema) + ")";
+    return false;
+  }
+  const telemetry::JsonValue* field = v.find("bench");
+  if (field == nullptr || !field->is_string()) {
+    if (error != nullptr) *error = "record is missing the \"bench\" field";
+    return false;
+  }
+  out->bench = field->str;
+  out->workload = (field = v.find("workload")) != nullptr ? field->str_or("") : "";
+  out->manager = (field = v.find("manager")) != nullptr ? field->str_or("") : "";
+  out->cores = (field = v.find("cores")) != nullptr ? field->int_or(0) : 0;
+  field = v.find("makespan");
+  if (field == nullptr || !field->is_number()) {
+    if (error != nullptr) *error = "record is missing the \"makespan\" field";
+    return false;
+  }
+  out->makespan = field->int_or(0);
+  out->speedup = (field = v.find("speedup")) != nullptr ? field->num_or(0.0) : 0.0;
+
+  const telemetry::JsonValue* metrics = v.find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    for (const auto& [path, mv] : metrics->object) {
+      if (mv.is_number()) {
+        out->metrics.emplace_back(path, mv.number);
+      } else if (mv.is_object()) {
+        // Histogram: flatten the scalar summary fields.
+        for (const char* f : {"count", "sum", "min", "max", "mean"}) {
+          const telemetry::JsonValue* hv = mv.find(f);
+          if (hv != nullptr && hv->is_number())
+            out->metrics.emplace_back(path + std::string(":") + f, hv->number);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string BenchRecord::key() const {
+  return bench + "|" + workload + "|" + manager + "|" + std::to_string(cores);
+}
+
+double BenchRecord::metric_sum(std::string_view glob) const {
+  double sum = 0.0;
+  for (const auto& [path, value] : metrics)
+    if (telemetry::path_glob_match(glob, path)) sum += value;
+  return sum;
+}
+
+double BenchRecord::tasks() const {
+  for (const auto& [path, value] : metrics)
+    if (path == "runtime/tasks" && value > 0.0) return value;
+  return 1.0;
+}
+
+bool parse_bench_records(std::string_view json_text,
+                         std::vector<BenchRecord>* out, std::string* error) {
+  out->clear();
+  telemetry::JsonValue doc;
+  if (!telemetry::json_parse(json_text, &doc, error)) return false;
+  const auto* records = &doc.array;
+  std::vector<telemetry::JsonValue> single;
+  if (doc.is_object()) {
+    single.push_back(std::move(doc));
+    records = &single;
+  } else if (!doc.is_array()) {
+    if (error != nullptr) *error = "document is neither an array nor a record";
+    return false;
+  }
+  for (std::size_t i = 0; i < records->size(); ++i) {
+    BenchRecord rec;
+    std::string why;
+    if (!parse_one_record((*records)[i], &rec, &why)) {
+      if (error != nullptr)
+        *error = "record " + std::to_string(i) + ": " + why;
+      return false;
+    }
+    out->push_back(std::move(rec));
+  }
+  return true;
+}
+
+std::vector<WatchedRate> default_watched_rates() {
+  // '**' so the globs reach both managers' layouts: Nexus++ nests these
+  // one level deep (nexus++/dep_counts/parked) but Nexus# two or three
+  // (nexus#/arbiter/dep_counts/parked, nexus#/tg<i>/table/stalls), and a
+  // single-segment '*' cannot cross the extra '/'.
+  return {
+      {"conflict_rate", "**/arbiter/conflicts"},
+      {"retry_rate", "**/arbiter/retries"},
+      {"park_rate", "**/dep_counts/parked"},
+      {"table_stall_rate", "**/table/stalls"},
+  };
+}
+
+PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
+                                const std::vector<BenchRecord>& candidate,
+                                const PerfdiffOptions& opts) {
+  PerfdiffResult res;
+  std::map<std::string, const BenchRecord*> base_by_key;
+  for (const auto& r : baseline) base_by_key[r.key()] = &r;
+
+  auto line = [&res](const std::string& s) {
+    res.report += s;
+    res.report.push_back('\n');
+  };
+
+  std::map<std::string, bool> seen;  // baseline keys matched by a candidate
+  for (const auto& cand : candidate) {
+    const auto it = base_by_key.find(cand.key());
+    if (it == base_by_key.end()) {
+      ++res.added;
+      line(fmt("  [new]     %s: no baseline record", cand.key().c_str()));
+      continue;
+    }
+    const BenchRecord& base = *it->second;
+    seen[cand.key()] = true;
+    ++res.compared;
+
+    bool regressed = false;
+    bool improved = false;
+    std::vector<std::string> details;
+
+    const double mk_pct = pct_change(static_cast<double>(base.makespan),
+                                     static_cast<double>(cand.makespan));
+    if (mk_pct > opts.makespan_tolerance_pct) {
+      regressed = true;
+      details.push_back(fmt("makespan %s -> %s (%+.2f%%, limit %.2f%%)",
+                            fmt_ms(base.makespan).c_str(),
+                            fmt_ms(cand.makespan).c_str(), mk_pct,
+                            opts.makespan_tolerance_pct));
+    } else if (mk_pct < -opts.makespan_tolerance_pct) {
+      improved = true;
+      ++res.improvements;
+      line(fmt("  [faster]  %s: makespan %s -> %s (%+.2f%%)",
+               cand.key().c_str(), fmt_ms(base.makespan).c_str(),
+               fmt_ms(cand.makespan).c_str(), mk_pct));
+    }
+
+    for (const auto& rate : opts.watched) {
+      const double b = base.metric_sum(rate.numerator) / base.tasks();
+      const double c = cand.metric_sum(rate.numerator) / cand.tasks();
+      if (c > b * (1.0 + opts.metric_tolerance_pct / 100.0) + kRateEps) {
+        regressed = true;
+        details.push_back(
+            b != 0.0 ? fmt("%s %.6g -> %.6g (%+.1f%%, limit %.1f%%)",
+                           rate.name.c_str(), b, c, pct_change(b, c),
+                           opts.metric_tolerance_pct)
+                     : fmt("%s 0 -> %.6g (was zero)", rate.name.c_str(), c));
+      }
+    }
+
+    if (regressed) {
+      ++res.regressions;
+      for (const auto& d : details)
+        line(fmt("  [REGRESS] %s: %s", cand.key().c_str(), d.c_str()));
+    } else if (!improved && !opts.quiet) {
+      line(fmt("  [ok]      %s: makespan %s (%+.2f%%)", cand.key().c_str(),
+               fmt_ms(cand.makespan).c_str(), mk_pct));
+    }
+  }
+
+  for (const auto& r : baseline) {
+    if (seen.find(r.key()) == seen.end()) {
+      ++res.removed;
+      line(fmt("  [removed] %s: record only in baseline", r.key().c_str()));
+    }
+  }
+
+  line(fmt("perfdiff: %d compared, %d added, %d removed — %d regression(s), "
+           "%d improvement(s)",
+           res.compared, res.added, res.removed, res.regressions,
+           res.improvements));
+  return res;
+}
+
+}  // namespace nexus::harness

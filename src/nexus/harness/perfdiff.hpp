@@ -1,0 +1,98 @@
+// Perf-diff over BENCH_*.json trajectory records: the library behind the
+// nexus-perfdiff tool and its tests.
+//
+// Two record sets are joined on (bench, workload, manager, cores). For each
+// pair the comparator checks the makespan against a relative tolerance and a
+// set of watched per-task rates (conflicts, retries, parks, table stalls by
+// default) against their own tolerance, producing a human-readable report
+// and a regression verdict — so CI can gate on the bench trajectory instead
+// of eyeballing numbers. The simulator is deterministic, which makes tight
+// default tolerances practical: identical code must reproduce identical
+// records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nexus/telemetry/json.hpp"
+
+namespace nexus::harness {
+
+/// The newest record schema this comparator understands (the "schema" field
+/// written by metrics_report_json). Records without the field are treated as
+/// schema 1 (the PR-2 format); anything newer is a hard parse error so
+/// future format changes are detected instead of mis-read.
+inline constexpr int kBenchRecordSchema = 2;
+
+/// One flattened BENCH_*.json record. Histogram metrics contribute
+/// "<path>:count/:sum/:min/:max/:mean" scalar entries; timelines are not
+/// compared (they describe *when*, not *how much*) and are skipped.
+struct BenchRecord {
+  int schema = 1;
+  std::string bench;
+  std::string workload;
+  std::string manager;
+  std::int64_t cores = 0;
+  std::int64_t makespan = 0;  ///< picoseconds
+  double speedup = 0.0;
+  /// Flattened scalar metrics, in record order.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Join key for matching baseline and candidate records.
+  [[nodiscard]] std::string key() const;
+
+  /// Sum of every metric whose path matches the glob (0 when none match).
+  [[nodiscard]] double metric_sum(std::string_view glob) const;
+
+  /// The run's task count ("runtime/tasks" gauge), or 1 when absent, as the
+  /// denominator for per-task rates.
+  [[nodiscard]] double tasks() const;
+};
+
+/// Parse a BENCH_*.json document (a JSON array of records, or one record
+/// object). Returns false with a message on malformed input or an unknown
+/// schema version.
+bool parse_bench_records(std::string_view json_text,
+                         std::vector<BenchRecord>* out, std::string* error);
+
+/// A watched per-task rate: sum(metrics matching `numerator`) / tasks.
+struct WatchedRate {
+  std::string name;       ///< report label, e.g. "conflict_rate"
+  std::string numerator;  ///< glob over flattened metric paths
+};
+
+/// The default watch list: arbiter conflict/retry rates, dep-count park
+/// rate, and task-graph-table stall rate (per task, both managers).
+std::vector<WatchedRate> default_watched_rates();
+
+struct PerfdiffOptions {
+  /// Makespan may grow by at most this percentage before it counts as a
+  /// regression (improvements are reported, never failed).
+  double makespan_tolerance_pct = 2.0;
+  /// A watched rate may grow by at most this percentage (with a small
+  /// absolute epsilon so zero-baselines do not flag on rounding noise).
+  double metric_tolerance_pct = 10.0;
+  std::vector<WatchedRate> watched = default_watched_rates();
+  /// Only emit regression/summary lines, not per-record ok lines.
+  bool quiet = false;
+};
+
+struct PerfdiffResult {
+  int compared = 0;     ///< records matched in both sets
+  int added = 0;        ///< only in candidate (reported, not failed)
+  int removed = 0;      ///< only in baseline (reported, not failed)
+  int regressions = 0;  ///< failed makespan or metric checks
+  int improvements = 0;
+  std::string report;   ///< human-readable, one line per finding
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compare candidate records against a baseline.
+PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
+                                const std::vector<BenchRecord>& candidate,
+                                const PerfdiffOptions& opts = {});
+
+}  // namespace nexus::harness

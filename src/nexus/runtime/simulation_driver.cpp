@@ -3,6 +3,7 @@
 #include <string>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/timeline.hpp"
 
 namespace nexus {
 
@@ -30,6 +31,11 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
     m_ready_depth_ =
         &config_.metrics->histogram("runtime/ready_q_depth");
     m_dispatches_ = &config_.metrics->counter("runtime/dispatches");
+  }
+  if (config_.timeline != nullptr) {
+    NEXUS_ASSERT_MSG(config_.metrics != nullptr,
+                     "RuntimeConfig::timeline requires RuntimeConfig::metrics");
+    sim_.set_sampler(config_.timeline);
   }
 }
 
@@ -67,6 +73,9 @@ RunResult Driver::run() {
       reg.gauge(core + "/idle_ps").set(r.makespan - busy);
     }
   }
+  // Final timeline row at the makespan, after the end-of-run gauges above so
+  // it captures the settled state.
+  if (config_.timeline != nullptr) config_.timeline->finish(r.makespan);
   return r;
 }
 

@@ -48,6 +48,12 @@ struct RuntimeConfig {
   /// registry and fills runtime metrics (per-core busy/idle ticks, ready
   /// queue depth, makespan) at the end. Null keeps every hot path a no-op.
   telemetry::MetricRegistry* metrics = nullptr;
+
+  /// If nonnull (requires `metrics`), the recorder samples the registry on
+  /// its sim-time grid while the run executes and takes one final row at the
+  /// makespan. Sampling is read-only: it cannot change the schedule or the
+  /// makespan (tested contract).
+  telemetry::TimelineRecorder* timeline = nullptr;
 };
 
 struct RunResult {

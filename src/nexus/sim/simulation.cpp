@@ -4,6 +4,7 @@
 
 #include "nexus/common/assert.hpp"
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/timeline.hpp"
 
 namespace nexus {
 
@@ -60,6 +61,8 @@ void Simulation::bind_telemetry(telemetry::MetricRegistry& reg,
     comp_gap_.push_back(&reg.histogram(telemetry::path_join(base, "gap_ps")));
   }
 }
+
+void Simulation::sample_to(Tick t) { sampler_->sample_until(t); }
 
 void Simulation::observe_slow(const Event& ev) {
   m_events_->inc();

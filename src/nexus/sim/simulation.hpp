@@ -47,13 +47,22 @@ class Simulation {
   void bind_telemetry(telemetry::MetricRegistry& reg,
                       std::string_view prefix = "sim");
 
+  /// Attach a periodic metric sampler (not owned; may be null to detach).
+  /// Before each event is dispatched, the recorder is advanced to the event's
+  /// timestamp, so timeline rows capture the state just *before* the sim
+  /// crosses each grid point. The sampler only reads metrics — it schedules
+  /// nothing and never changes simulated behavior.
+  void set_sampler(telemetry::TimelineRecorder* sampler) { sampler_ = sampler; }
+
  private:
   /// Per-event metric hook; a single null check when telemetry is unbound.
   void observe(const Event& ev) {
+    if (sampler_ != nullptr) sample_to(ev.t);
     if (m_events_ == nullptr) return;
     observe_slow(ev);
   }
   void observe_slow(const Event& ev);
+  void sample_to(Tick t);
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Component*> components_;
@@ -62,6 +71,7 @@ class Simulation {
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
 
+  telemetry::TimelineRecorder* sampler_ = nullptr;
   telemetry::Counter* m_events_ = nullptr;
   telemetry::Histogram* m_advance_ = nullptr;  ///< now() jumps, in ps
   std::vector<telemetry::Counter*> comp_events_;

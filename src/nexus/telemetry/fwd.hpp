@@ -10,5 +10,8 @@ class Counter;
 class Gauge;
 class Histogram;
 struct Snapshot;
+class TimelineRecorder;
+struct Timeline;
+struct TimelineConfig;
 
 }  // namespace nexus::telemetry

@@ -1,0 +1,273 @@
+#include "nexus/telemetry/json.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace nexus::telemetry {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) hit = &v;  // duplicates keep the last, like most readers
+  return hit;
+}
+
+double JsonValue::num_or(double dflt) const {
+  return type == Type::kNumber ? number : dflt;
+}
+
+std::int64_t JsonValue::int_or(std::int64_t dflt) const {
+  if (type != Type::kNumber) return dflt;
+  if (is_integer) return integer;
+  // Saturate doubles outside the int64 range instead of hitting the UB
+  // float->int cast: a 1e23 "makespan" must stay astronomically large, not
+  // wrap to INT64_MIN and read as an improvement downstream.
+  constexpr double kMax = 9223372036854775808.0;  // 2^63
+  if (number >= kMax) return INT64_MAX;
+  if (number <= -kMax) return INT64_MIN;
+  return static_cast<std::int64_t>(number);
+}
+
+std::string JsonValue::str_or(std::string dflt) const {
+  return type == Type::kString ? str : std::move(dflt);
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;  ///< recursion guard for adversarial inputs
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse_document(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_ != nullptr)
+      *error_ = msg + " (at byte " + std::to_string(pos_) + ")";
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char expected, const char* what) {
+    if (at_end() || text_[pos_] != expected)
+      return fail(std::string("expected ") + what);
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("unrecognized literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        out->type = JsonValue::Type::kString;
+        return parse_string(&out->str);
+      }
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key string");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!consume(':', "':' after object key")) return false;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v, depth + 1)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // basic-multilingual-plane scalar as UTF-8. Surrogates would need
+          // pairing logic and can only come from foreign producers — stay
+          // strict and reject them rather than emit invalid CESU-8.
+          if (code >= 0xD800 && code <= 0xDFFF)
+            return fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    bool digits = false;
+    bool fractional = false;
+    while (!at_end()) {
+      const char c = peek();
+      if (c >= '0' && c <= '9') {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out->type = JsonValue::Type::kNumber;
+    errno = 0;
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    if (!fractional) {
+      errno = 0;
+      const long long ll = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno != ERANGE) {
+        out->integer = ll;
+        out->is_integer = true;
+      }
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue{};
+  return Parser(text, error).parse_document(out);
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,52 @@
+// A small, strict JSON reader — the inverse of JsonWriter, used by
+// nexus-perfdiff to load BENCH_*.json records and by tests to round-trip
+// exported snapshots/timelines.
+//
+// Scope matches what this repo writes: UTF-8 text, objects with ordered
+// keys, arrays, strings with the JsonWriter escape set, bools, null, and
+// numbers. Integers that fit std::int64_t are kept exact (makespans are
+// 10^11-scale picosecond counts where double rounding would be visible in
+// diffs); everything else falls back to double. Trailing garbage, unpaired
+// containers and over-deep nesting are hard errors, never best-effort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nexus::telemetry {
+
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;        ///< kNumber (always set)
+  std::int64_t integer = 0;   ///< kNumber, exact when `is_integer`
+  bool is_integer = false;
+  std::string str;            ///< kString
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (duplicates keep the last).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Scalar accessors with defaults (non-numbers return the default).
+  [[nodiscard]] double num_or(double dflt) const;
+  [[nodiscard]] std::int64_t int_or(std::int64_t dflt) const;
+  [[nodiscard]] std::string str_or(std::string dflt) const;
+};
+
+/// Parse a complete document into `*out`. On failure returns false and, if
+/// `error` is nonnull, fills it with a message including the byte offset.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace nexus::telemetry

@@ -66,6 +66,22 @@ Histogram& MetricRegistry::histogram(std::string_view path) {
   return histograms_[slot_for(path, MetricKind::kHistogram).index];
 }
 
+void MetricRegistry::visit(MetricVisitor& v) const {
+  for (const auto& [path, slot] : slots_) {
+    switch (slot.kind) {
+      case MetricKind::kCounter:
+        v.on_counter(path, counters_[slot.index]);
+        break;
+      case MetricKind::kGauge:
+        v.on_gauge(path, gauges_[slot.index]);
+        break;
+      case MetricKind::kHistogram:
+        v.on_histogram(path, histograms_[slot.index]);
+        break;
+    }
+  }
+}
+
 Snapshot MetricRegistry::snapshot() const {
   Snapshot snap;
   snap.values.reserve(slots_.size());

@@ -19,6 +19,16 @@
 
 namespace nexus::telemetry {
 
+/// Read-only walk over live metrics in path order (no copies). Used by the
+/// TimelineRecorder, which re-scans the registry on every sample.
+class MetricVisitor {
+ public:
+  virtual ~MetricVisitor() = default;
+  virtual void on_counter(std::string_view path, const Counter& c) = 0;
+  virtual void on_gauge(std::string_view path, const Gauge& g) = 0;
+  virtual void on_histogram(std::string_view path, const Histogram& h) = 0;
+};
+
 class MetricRegistry {
  public:
   Counter& counter(std::string_view path);
@@ -29,6 +39,9 @@ class MetricRegistry {
 
   /// Deep-copy the current state, sorted by path.
   [[nodiscard]] Snapshot snapshot() const;
+
+  /// Visit every live metric in path order without copying.
+  void visit(MetricVisitor& v) const;
 
  private:
   struct Slot {

@@ -1,0 +1,279 @@
+// nexus-perfdiff library tests: the strict JSON reader, BENCH record
+// parsing (schema 1 and 2, malformed inputs rejected), and the comparator
+// on fixture records — identical records pass, a doctored makespan or
+// conflict burst regresses, an improvement passes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/harness/perfdiff.hpp"
+#include "nexus/telemetry/json.hpp"
+
+namespace nexus {
+namespace {
+
+using harness::BenchRecord;
+using harness::parse_bench_records;
+using harness::PerfdiffOptions;
+using harness::PerfdiffResult;
+using telemetry::JsonValue;
+
+// ---------- JSON reader ----------
+
+TEST(JsonParse, ScalarsArraysAndNestedObjects) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(telemetry::json_parse(
+      R"({"a": 1, "b": -2.5, "c": [true, false, null], "d": {"e": "hi\n"}})",
+      &v, &error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->int_or(0), 1);
+  EXPECT_TRUE(v.find("a")->is_integer);
+  EXPECT_DOUBLE_EQ(v.find("b")->num_or(0), -2.5);
+  EXPECT_FALSE(v.find("b")->is_integer);
+  ASSERT_EQ(v.find("c")->array.size(), 3u);
+  EXPECT_TRUE(v.find("c")->array[0].boolean);
+  EXPECT_EQ(v.find("c")->array[2].type, JsonValue::Type::kNull);
+  EXPECT_EQ(v.find("d")->find("e")->str, "hi\n");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, KeepsLargeIntegersExact) {
+  // 2^53 + 1 is not representable in a double; the reader must keep it.
+  JsonValue v;
+  ASSERT_TRUE(telemetry::json_parse("9007199254740993", &v, nullptr));
+  EXPECT_TRUE(v.is_integer);
+  EXPECT_EQ(v.integer, 9007199254740993LL);
+}
+
+TEST(JsonParse, IntOrSaturatesOutOfRangeDoubles) {
+  // Regression: the float->int64 cast on a 1e23 "makespan" was UB and
+  // wrapped negative, turning an absurd regression into an "improvement".
+  JsonValue v;
+  ASSERT_TRUE(telemetry::json_parse("1e23", &v, nullptr));
+  EXPECT_FALSE(v.is_integer);
+  EXPECT_EQ(v.int_or(0), INT64_MAX);
+  ASSERT_TRUE(telemetry::json_parse("-1e23", &v, nullptr));
+  EXPECT_EQ(v.int_or(0), INT64_MIN);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",        "[1,]",       "{\"a\":}",  "{\"a\" 1}",
+      "[1] trailing", "\"unterminated", "{\"a\":1,}", "nul",     "01x",
+      "{\"a\": \x01\"b\"}", "\"\\ud83d\\ude00\"", "\"\\udc00\"",
+  };
+  for (const char* text : bad) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(telemetry::json_parse(text, &v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(JsonParse, RejectsOverDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(telemetry::json_parse(deep, &v, &error));
+}
+
+// ---------- record parsing ----------
+
+const char* kRecord = R"([
+{"schema":2,"bench":"table2","workload":"c-ray","manager":"nexus#","cores":32,
+ "makespan":1000000,"speedup":31.4,
+ "metrics":{"nexus#/arbiter/conflicts":40,"runtime/tasks":100,
+            "nexus#/pool/occupancy":{"count":10,"sum":50,"min":1,"max":9,"mean":5.0}},
+ "timeline":{"interval_ps":10,"points":1,"encoding":"delta","t":[0],
+             "series":{"m":{"kind":"counter","v":[1]}}}}
+])";
+
+TEST(BenchRecords, ParsesSchema2WithFlattenedHistograms) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  ASSERT_TRUE(parse_bench_records(kRecord, &recs, &error)) << error;
+  ASSERT_EQ(recs.size(), 1u);
+  const BenchRecord& r = recs[0];
+  EXPECT_EQ(r.schema, 2);
+  EXPECT_EQ(r.key(), "table2|c-ray|nexus#|32");
+  EXPECT_EQ(r.makespan, 1000000);
+  EXPECT_DOUBLE_EQ(r.speedup, 31.4);
+  EXPECT_DOUBLE_EQ(r.metric_sum("*/arbiter/conflicts"), 40.0);
+  EXPECT_DOUBLE_EQ(r.metric_sum("nexus#/pool/occupancy:count"), 10.0);
+  EXPECT_DOUBLE_EQ(r.metric_sum("nexus#/pool/occupancy:mean"), 5.0);
+  EXPECT_DOUBLE_EQ(r.tasks(), 100.0);
+}
+
+TEST(BenchRecords, SchemalessRecordsAreSchema1) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  ASSERT_TRUE(parse_bench_records(
+      R"({"bench":"b","workload":"w","manager":"m","cores":1,"makespan":5,
+          "speedup":1.0,"metrics":{}})",
+      &recs, &error))
+      << error;
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].schema, 1);
+  EXPECT_DOUBLE_EQ(recs[0].tasks(), 1.0);  // no runtime/tasks -> unit divisor
+}
+
+TEST(BenchRecords, RejectsUnknownSchemaAndMalformedInput) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  EXPECT_FALSE(parse_bench_records(
+      R"([{"schema":99,"bench":"b","makespan":1}])", &recs, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  EXPECT_FALSE(parse_bench_records("[{", &recs, &error));
+  EXPECT_FALSE(parse_bench_records("42", &recs, &error));
+  EXPECT_FALSE(parse_bench_records(R"([{"workload":"no-bench-field"}])",
+                                   &recs, &error));
+  EXPECT_FALSE(parse_bench_records(
+      R"([{"bench":"b","workload":"w","manager":"m","cores":1}])", &recs,
+      &error));  // missing makespan
+}
+
+// ---------- comparator ----------
+
+BenchRecord fixture(std::int64_t makespan, double conflicts,
+                    const std::string& workload = "w") {
+  BenchRecord r;
+  r.schema = 2;
+  r.bench = "table2";
+  r.workload = workload;
+  r.manager = "nexus#";
+  r.cores = 32;
+  r.makespan = makespan;
+  r.speedup = 1.0;
+  r.metrics = {{"nexus#/arbiter/conflicts", conflicts},
+               {"runtime/tasks", 100.0}};
+  return r;
+}
+
+TEST(Perfdiff, IdenticalRecordsPass) {
+  const std::vector<BenchRecord> recs{fixture(1000, 40), fixture(2000, 0, "x")};
+  const PerfdiffResult res = harness::perfdiff_compare(recs, recs);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.compared, 2);
+  EXPECT_EQ(res.regressions, 0);
+  EXPECT_NE(res.report.find("0 regression(s)"), std::string::npos);
+}
+
+TEST(Perfdiff, MakespanRegressionDetected) {
+  const std::vector<BenchRecord> base{fixture(1000, 40)};
+  const std::vector<BenchRecord> cand{fixture(1100, 40)};  // +10% > 2% limit
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.regressions, 1);
+  EXPECT_NE(res.report.find("REGRESS"), std::string::npos);
+  EXPECT_NE(res.report.find("makespan"), std::string::npos);
+}
+
+TEST(Perfdiff, ImprovementPassesAndIsCounted) {
+  const std::vector<BenchRecord> base{fixture(1000, 40)};
+  const std::vector<BenchRecord> cand{fixture(900, 40)};  // -10%
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.improvements, 1);
+  EXPECT_NE(res.report.find("faster"), std::string::npos);
+  // One line per record: an improved record must not also print [ok].
+  EXPECT_EQ(res.report.find("[ok]"), std::string::npos);
+}
+
+TEST(Perfdiff, MetricRateRegressionDetectedEvenWithEqualMakespan) {
+  const std::vector<BenchRecord> base{fixture(1000, 40)};
+  const std::vector<BenchRecord> cand{fixture(1000, 80)};  // conflict rate x2
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("conflict_rate"), std::string::npos);
+
+  // Within tolerance passes: +5% < 10% limit.
+  const std::vector<BenchRecord> mild{fixture(1000, 42)};
+  EXPECT_TRUE(harness::perfdiff_compare(base, mild).ok());
+}
+
+TEST(Perfdiff, DefaultWatchedGlobsReachBothManagerLayouts) {
+  // Nexus++ nests the watched counters one level deep, Nexus# two or three;
+  // the default globs must reach every layout or the gate is silently dead.
+  BenchRecord r;
+  r.metrics = {{"nexus++/dep_counts/parked", 1.0},
+               {"nexus#/arbiter/dep_counts/parked", 2.0},
+               {"nexus++/table/stalls", 4.0},
+               {"nexus#/tg0/table/stalls", 8.0},
+               {"nexus#/tg11/table/stalls", 16.0},
+               {"nexus#/arbiter/conflicts", 32.0},
+               {"nexus#/arbiter/retries", 64.0}};
+  auto rate_glob = [](const std::string& name) {
+    for (const auto& w : harness::default_watched_rates())
+      if (w.name == name) return w.numerator;
+    return std::string();
+  };
+  EXPECT_DOUBLE_EQ(r.metric_sum(rate_glob("park_rate")), 3.0);
+  EXPECT_DOUBLE_EQ(r.metric_sum(rate_glob("table_stall_rate")), 28.0);
+  EXPECT_DOUBLE_EQ(r.metric_sum(rate_glob("conflict_rate")), 32.0);
+  EXPECT_DOUBLE_EQ(r.metric_sum(rate_glob("retry_rate")), 64.0);
+}
+
+TEST(Perfdiff, ZeroBaselineRateFlagsNewConflicts) {
+  const std::vector<BenchRecord> base{fixture(1000, 0)};
+  const std::vector<BenchRecord> cand{fixture(1000, 3)};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("was zero"), std::string::npos);
+}
+
+TEST(Perfdiff, AddedAndRemovedRecordsAreReportedNotFailed) {
+  const std::vector<BenchRecord> base{fixture(1000, 40, "only-in-base")};
+  const std::vector<BenchRecord> cand{fixture(1000, 40, "only-in-cand")};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.compared, 0);
+  EXPECT_EQ(res.added, 1);
+  EXPECT_EQ(res.removed, 1);
+}
+
+TEST(Perfdiff, ThresholdsAreConfigurable) {
+  const std::vector<BenchRecord> base{fixture(1000, 40)};
+  const std::vector<BenchRecord> cand{fixture(1100, 40)};
+  PerfdiffOptions loose;
+  loose.makespan_tolerance_pct = 15.0;
+  EXPECT_TRUE(harness::perfdiff_compare(base, cand, loose).ok());
+  PerfdiffOptions tight;
+  tight.makespan_tolerance_pct = 0.5;
+  EXPECT_FALSE(harness::perfdiff_compare(base, cand, tight).ok());
+}
+
+TEST(Perfdiff, QuietSuppressesOkLinesButKeepsSummary) {
+  const std::vector<BenchRecord> recs{fixture(1000, 40)};
+  PerfdiffOptions quiet;
+  quiet.quiet = true;
+  const PerfdiffResult res = harness::perfdiff_compare(recs, recs, quiet);
+  EXPECT_EQ(res.report.find("[ok]"), std::string::npos);
+  EXPECT_NE(res.report.find("perfdiff:"), std::string::npos);
+}
+
+// End-to-end over the real serializer: a record written by
+// metrics_report_json must round-trip through parse_bench_records.
+TEST(Perfdiff, RoundTripsRealReportRecords) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  const std::string doc =
+      "[" +
+      std::string(
+          R"({"schema":2,"bench":"fig9","workload":"gaussian-250","manager":"nexus#-2TG@100MHz","cores":8,"makespan":70761000000,"speedup":1.1,"metrics":{"runtime/tasks":31374}})") +
+      "]";
+  ASSERT_TRUE(parse_bench_records(doc, &recs, &error)) << error;
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].makespan, 70761000000LL);
+  const PerfdiffResult res = harness::perfdiff_compare(recs, recs);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.compared, 1);
+}
+
+}  // namespace
+}  // namespace nexus

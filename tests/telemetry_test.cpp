@@ -220,12 +220,26 @@ TEST(MetricsReportJson, MatchesBenchSchema) {
   const Snapshot snap = reg.snapshot();
   EXPECT_EQ(harness::metrics_report_json("table2", "c-ray", "nexus#", 32,
                                          1234, 1.5, &snap),
-            "{\"bench\":\"table2\",\"workload\":\"c-ray\",\"manager\":"
-            "\"nexus#\",\"cores\":32,\"makespan\":1234,\"speedup\":1.5,"
-            "\"metrics\":{\"m\":9}}");
+            "{\"schema\":2,\"bench\":\"table2\",\"workload\":\"c-ray\","
+            "\"manager\":\"nexus#\",\"cores\":32,\"makespan\":1234,"
+            "\"speedup\":1.5,\"metrics\":{\"m\":9}}");
   EXPECT_EQ(harness::metrics_report_json("b", "w", "m", 1, 0, 0.0, nullptr),
-            "{\"bench\":\"b\",\"workload\":\"w\",\"manager\":\"m\","
-            "\"cores\":1,\"makespan\":0,\"speedup\":0,\"metrics\":{}}");
+            "{\"schema\":2,\"bench\":\"b\",\"workload\":\"w\",\"manager\":"
+            "\"m\",\"cores\":1,\"makespan\":0,\"speedup\":0,\"metrics\":{}}");
+}
+
+TEST(MetricsReportJson, AppendsTimelineWhenGiven) {
+  telemetry::Timeline tl;
+  tl.interval = 10;
+  tl.t = {0, 10, 20};
+  tl.series.push_back({"m", telemetry::MetricKind::kCounter, {0, 4, 9}});
+  const std::string doc =
+      harness::metrics_report_json("b", "w", "m", 1, 20, 1.0, nullptr, &tl);
+  EXPECT_NE(doc.find("\"timeline\":{\"interval_ps\":10,\"points\":3,"
+                     "\"encoding\":\"delta\",\"t\":[0,10,10],\"series\":"
+                     "{\"m\":{\"kind\":\"counter\",\"v\":[0,4,5]}}}"),
+            std::string::npos)
+      << doc;
 }
 
 // ---------- sim-layer hooks ----------
