@@ -33,7 +33,8 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
-BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json)
+BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json
+               BENCH_topology.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -70,7 +71,9 @@ if [[ "${BENCH}" -eq 1 ]]; then
     rm -rf "${BASE_DIR}"
     mkdir -p "${BASE_DIR}"
     for f in "${BENCH_RECORDS[@]}"; do
-      [[ -f "${f}" ]] && cp "${f}" "${BASE_DIR}/${f}"
+      # Plain `[[ -f ]] &&` would fail the errexit shell when the *last*
+      # record is a brand-new file with no committed baseline yet.
+      if [[ -f "${f}" ]]; then cp "${f}" "${BASE_DIR}/${f}"; fi
     done
   fi
 
@@ -91,6 +94,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/ablation_arbiter" --quick
   smoke "${B}/ablation_distribution" --quick
   smoke "${B}/ablation_pool_window" --quick
+  smoke "${B}/ablation_topology" --quick
   smoke "${B}/multiapp" --quick
   smoke "${B}/power_energy"
   smoke "${E}/metrics_report" --workload gaussian-250 --cores 8
@@ -100,6 +104,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/fig7_h264_tg_scaling" --quick --json BENCH_fig7.json --timeline
   smoke "${B}/fig8_starbench" --quick --json BENCH_fig8.json --timeline
   smoke "${B}/fig9_gaussian_speedup" --quick --json BENCH_fig9.json --timeline
+  smoke "${B}/ablation_topology" --quick --json BENCH_topology.json --timeline
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
   if [[ "${DIFF}" -eq 1 ]]; then

@@ -69,13 +69,28 @@ double Series::speedup_at(std::uint32_t n) const {
 
 Tick ideal_baseline(const Trace& trace) { return list_schedule_makespan(trace, 1); }
 
+std::string topology_label(const ManagerSpec& spec, const RuntimeConfig& base) {
+  noc::TopologyKind mgr = noc::TopologyKind::kIdeal;
+  if (spec.kind == ManagerSpec::Kind::kNexusSharp) mgr = spec.sharp.noc.kind;
+  if (spec.kind == ManagerSpec::Kind::kNexusPP) mgr = spec.npp.noc.kind;
+  const noc::TopologyKind host = base.noc.kind;
+  // Both axes are part of the join key: a mesh-manager/ring-host run must
+  // not collide with a mesh-manager/ideal-host run in perfdiff. The common
+  // cases (matching kinds, or only one axis configured) keep plain labels.
+  if (mgr == host) return noc::to_string(mgr);
+  if (mgr == noc::TopologyKind::kIdeal)
+    return std::string("host-") + noc::to_string(host);
+  if (host == noc::TopologyKind::kIdeal) return noc::to_string(mgr);
+  return std::string(noc::to_string(mgr)) + "+host-" + noc::to_string(host);
+}
+
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base) {
   // The fast list scheduler computes the identical makespan (tested against
   // the DES + IdealManager pair) without event overhead — unless host costs
-  // are configured, which need the DES.
+  // or a host NoC are configured, which need the DES.
   if (spec.kind == ManagerSpec::Kind::kIdeal && base.host_message_cost == 0 &&
-      base.master_event_cost == 0)
+      base.master_event_cost == 0 && base.noc.ideal())
     return list_schedule_makespan(trace, cores);
   return run_once_report(trace, spec, cores, base, /*collect_metrics=*/false)
       .result.makespan;
@@ -95,6 +110,7 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
     rc.timeline = rec.get();
   }
   RunReport rep;
+  rep.topology = topology_label(spec, base);
   switch (spec.kind) {
     case ManagerSpec::Kind::kIdeal: {
       IdealManager mgr;
@@ -133,6 +149,7 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
   for (const std::uint32_t c : cores) {
     SweepPoint p;
     p.cores = c;
+    p.topology = topology_label(spec, base);
     if (collect_metrics || timeline != nullptr) {
       RunReport rep = run_once_report(trace, spec, c, base, true, timeline);
       p.makespan = rep.result.makespan;
@@ -164,6 +181,10 @@ telemetry::TimelineConfig bench_timeline_config() {
       // Occupancy transients: queue depths and pool fill.
       "nexus#/arbiter/ready_q_depth", "nexus#/pool/occupancy",
       "runtime/ready_q_depth",
+      // Interconnect pressure: message flow, in-flight depth and stalls on
+      // every NoC (manager-side nexus#/noc, nexus++/noc and runtime/noc).
+      "**/noc/messages", "**/noc/in_flight", "**/noc/stall_ps",
+      "**/noc/blocked_flits",
       // Routing balance over time and host dispatch activity.
       "nexus#/tg*/routed", "runtime/dispatches", "sim/events",
   };
@@ -174,13 +195,16 @@ std::string metrics_report_json(std::string_view bench, std::string_view workloa
                                 std::string_view manager, std::uint32_t cores,
                                 Tick makespan, double speedup,
                                 const telemetry::Snapshot* metrics,
-                                const telemetry::Timeline* timeline) {
+                                const telemetry::Timeline* timeline,
+                                std::string_view topology) {
   telemetry::JsonWriter w;
   w.begin_object();
   w.kv("schema", 2);
   w.kv("bench", bench);
   w.kv("workload", workload);
   w.kv("manager", manager);
+  // Optional: absent means "ideal", so pre-NoC records stay joinable.
+  if (!topology.empty() && topology != "ideal") w.kv("topology", topology);
   w.kv("cores", cores);
   w.kv("makespan", makespan);
   w.kv("speedup", speedup);

@@ -52,6 +52,9 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
   out->bench = field->str;
   out->workload = (field = v.find("workload")) != nullptr ? field->str_or("") : "";
   out->manager = (field = v.find("manager")) != nullptr ? field->str_or("") : "";
+  // Optional since the NoC layer; records without it are ideal-topology.
+  out->topology =
+      (field = v.find("topology")) != nullptr ? field->str_or("ideal") : "ideal";
   out->cores = (field = v.find("cores")) != nullptr ? field->int_or(0) : 0;
   field = v.find("makespan");
   if (field == nullptr || !field->is_number()) {
@@ -82,7 +85,8 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
 }  // namespace
 
 std::string BenchRecord::key() const {
-  return bench + "|" + workload + "|" + manager + "|" + std::to_string(cores);
+  return bench + "|" + workload + "|" + manager + "|" + topology + "|" +
+         std::to_string(cores);
 }
 
 double BenchRecord::metric_sum(std::string_view glob) const {

@@ -1,7 +1,8 @@
 // Perf-diff over BENCH_*.json trajectory records: the library behind the
 // nexus-perfdiff tool and its tests.
 //
-// Two record sets are joined on (bench, workload, manager, cores). For each
+// Two record sets are joined on (bench, workload, manager, topology,
+// cores) — topology is optional in the record, absent means ideal. For each
 // pair the comparator checks the makespan against a relative tolerance and a
 // set of watched per-task rates (conflicts, retries, parks, table stalls by
 // default) against their own tolerance, producing a human-readable report
@@ -34,6 +35,9 @@ struct BenchRecord {
   std::string bench;
   std::string workload;
   std::string manager;
+  /// Interconnect topology; the record field is optional and absent means
+  /// "ideal", so pre-NoC baselines still join against ideal candidates.
+  std::string topology = "ideal";
   std::int64_t cores = 0;
   std::int64_t makespan = 0;  ///< picoseconds
   double speedup = 0.0;

@@ -7,10 +7,15 @@
 namespace nexus {
 
 NexusPP::NexusPP(const NexusPPConfig& cfg)
-    : cfg_(cfg), clk_(cfg.freq_mhz), pool_(cfg.pool_capacity), table_(cfg.table) {}
+    : cfg_(cfg), clk_(cfg.freq_mhz), pool_(cfg.pool_capacity), table_(cfg.table) {
+  net_ = std::make_unique<noc::Network>(cfg_.noc, npp_noc_endpoints(),
+                                        cfg.freq_mhz,
+                                        clk_.cycles(cfg.fifo_latency));
+}
 
 void NexusPP::bind_telemetry(telemetry::MetricRegistry& reg) {
   pool_.bind_telemetry(reg, "nexus++/pool");
+  net_->bind_telemetry(reg, "nexus++/noc");
   table_.bind_telemetry(reg, "nexus++/table");
   depcounts_.bind_telemetry(reg, "nexus++/dep_counts");
   m_tasks_in_ = &reg.counter("nexus++/tasks_in");
@@ -21,6 +26,7 @@ void NexusPP::attach(Simulation& sim, RuntimeHost* host) {
   NEXUS_ASSERT(host != nullptr);
   host_ = host;
   self_ = sim.add_component(this);
+  net_->attach(sim);  // after self_, keeping the pre-NoC component id
 }
 
 Tick NexusPP::submit(Simulation& sim, const TaskDescriptor& task) {
@@ -37,14 +43,16 @@ Tick NexusPP::submit(Simulation& sim, const TaskDescriptor& task) {
       sim.now(), cycles(cfg_.header_cycles +
                         cfg_.recv_per_param *
                             static_cast<std::int64_t>(task.num_params())));
-  sim.schedule(recv_done + cycles(cfg_.fifo_latency), self_, kInsertArrived, task.id);
+  net_->send(sim, recv_done, npp_io_node(), npp_manager_node(), self_,
+             kInsertArrived, task.id);
   return recv_done;
 }
 
 Tick NexusPP::notify_finished(Simulation& sim, TaskId id) {
   // Finish notifications share the host IO port with submissions.
   const Tick recv_done = io_.acquire(sim.now(), cycles(cfg_.finish_receive));
-  sim.schedule(recv_done + cycles(cfg_.fifo_latency), self_, kFinishArrived, id);
+  net_->send(sim, recv_done, npp_io_node(), npp_manager_node(), self_,
+             kFinishArrived, id);
   return recv_done;
 }
 
@@ -67,6 +75,13 @@ void NexusPP::handle(Simulation& sim, const Event& ev) {
       telemetry::inc(m_ready_out_);
       host_->task_ready(sim, static_cast<TaskId>(ev.a));
       break;
+    case kWbArrived: {
+      // Non-ideal topologies only: the ready record reached the IO tile;
+      // the Write-Back stage serializes from its arrival.
+      const Tick done = wb_.acquire(sim.now(), cycles(cfg_.writeback_cycles));
+      sim.schedule(done, self_, kReadyDelivered, ev.a);
+      break;
+    }
     default:
       NEXUS_ASSERT_MSG(false, "unknown NexusPP op");
   }
@@ -184,10 +199,20 @@ void NexusPP::process_finish(Simulation& sim, TaskId id) {
 }
 
 void NexusPP::deliver_ready(Simulation& sim, Tick not_before, TaskId id) {
-  // Write-Back: 3 cycles per ready task through the output FIFO.
-  const Tick wb_start = std::max(not_before + cycles(cfg_.fifo_latency), sim.now());
-  const Tick done = wb_.acquire(wb_start, cycles(cfg_.writeback_cycles));
-  sim.schedule(done, self_, kReadyDelivered, id);
+  if (net_->ideal()) {
+    // Write-Back: 3 cycles per ready task through the output FIFO. Kept as
+    // the synchronous legacy path so the default config stays bit-identical
+    // (the WB server is acquired in call order, not record-arrival order).
+    const Tick wb_start =
+        std::max(not_before + cycles(cfg_.fifo_latency), sim.now());
+    const Tick done = wb_.acquire(wb_start, cycles(cfg_.writeback_cycles));
+    sim.schedule(done, self_, kReadyDelivered, id);
+    return;
+  }
+  // The output FIFO crossing becomes a manager-tile -> IO-tile traversal;
+  // the WB stage serializes records in their arrival order (kWbArrived).
+  net_->send(sim, not_before, npp_manager_node(), npp_io_node(), self_,
+             kWbArrived, id);
 }
 
 NexusPP::Stats NexusPP::stats() const {

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "nexus/hw/dep_counts_table.hpp"
 #include "nexus/hw/task_graph_table.hpp"
 #include "nexus/hw/task_pool.hpp"
+#include "nexus/noc/network.hpp"
 #include "nexus/runtime/manager.hpp"
 #include "nexus/sim/server.hpp"
 
@@ -44,7 +46,19 @@ struct NexusPPConfig {
   std::int64_t finish_per_param = 4;
   std::int64_t kick_cycles = 2;       ///< per kicked-off waiter update
   std::int64_t chain_hop_cycles = 2;  ///< per dummy-entry hop
+
+  /// Interconnect between the host IO port (node 0) and the single manager
+  /// tile (node 1) — the degenerate all-roads-to-one-node case of the
+  /// distributed model. The default (ideal at `fifo_latency`) is
+  /// bit-identical to the pre-NoC pipeline; ring/mesh serialize every
+  /// submission, finish and write-back over the one link pair.
+  noc::NocConfig noc{};
 };
+
+/// Nexus++ NoC placement (see NexusPPConfig::noc).
+constexpr noc::NodeId npp_io_node() { return 0; }
+constexpr noc::NodeId npp_manager_node() { return 1; }
+constexpr std::uint32_t npp_noc_endpoints() { return 2; }
 
 class NexusPP final : public TaskManagerModel, public Component {
  public:
@@ -72,6 +86,8 @@ class NexusPP final : public TaskManagerModel, public Component {
     Tick insert_busy = 0;  ///< table-port busy time
   };
   [[nodiscard]] Stats stats() const;
+  /// The host<->manager interconnect (see NexusPPConfig::noc).
+  [[nodiscard]] const noc::Network& network() const { return *net_; }
 
  private:
   enum Op : std::uint32_t {
@@ -79,6 +95,7 @@ class NexusPP final : public TaskManagerModel, public Component {
     kFinishArrived = 1,  ///< a = task id
     kPump = 2,
     kReadyDelivered = 3,  ///< a = task id
+    kWbArrived = 4,  ///< a = task id: ready record crossed the NoC to the WB
   };
 
   struct InsertJob {
@@ -98,6 +115,7 @@ class NexusPP final : public TaskManagerModel, public Component {
   ClockDomain clk_;
   RuntimeHost* host_ = nullptr;
   std::uint32_t self_ = 0;
+  std::unique_ptr<noc::Network> net_;
 
   Server io_;  ///< host interface: submissions and finish notifications
   Server wb_;  ///< write-back stage

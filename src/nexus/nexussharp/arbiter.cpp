@@ -17,9 +17,12 @@ const char* to_string(ArbiterPolicy p) {
 
 namespace detail {
 
-SharpArbiter::SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy)
-    : cfg_(cfg), policy_(policy), clk_(cfg.freq_mhz),
-      dep_q_(cfg.num_task_graphs) {}
+SharpArbiter::SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy,
+                           noc::Network* net)
+    : cfg_(cfg), policy_(policy), net_(net), clk_(cfg.freq_mhz),
+      dep_q_(cfg.num_task_graphs) {
+  NEXUS_ASSERT(net != nullptr);
+}
 
 bool SharpArbiter::dep_pending() const {
   for (const auto& q : dep_q_)
@@ -215,7 +218,17 @@ void SharpArbiter::to_writeback(Simulation& sim, Tick from, TaskId id) {
   // (3 cycles: reads the Function Pointers table, forwards to Nexus IO).
   const Tick start = std::max(from + cycles(cfg_.fifo_latency), sim.now());
   const Tick done = wb_.acquire(start, cycles(cfg_.writeback_cycles));
-  sim.schedule(done, self_, kWbDone, id);
+  if (net_->ideal()) {
+    // Legacy behaviour: the WB->IO forward is free (folded into
+    // writeback_cycles). Kept exactly so the default config stays
+    // bit-identical to the pre-NoC model.
+    sim.schedule(done, self_, kWbDone, id);
+  } else {
+    // On a real topology the ready record crosses the interconnect from
+    // the arbiter tile back to the Nexus IO tile.
+    net_->send(sim, done, sharp_arbiter_node(cfg_.num_task_graphs),
+               sharp_io_node(), self_, kWbDone, id);
+  }
 }
 
 }  // namespace detail

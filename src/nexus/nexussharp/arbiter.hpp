@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "nexus/hw/dep_counts_table.hpp"
+#include "nexus/noc/network.hpp"
 #include "nexus/nexussharp/config.hpp"
 #include "nexus/runtime/manager.hpp"
 #include "nexus/sim/server.hpp"
@@ -28,7 +29,8 @@ namespace nexus::detail {
 
 class SharpArbiter final : public Component {
  public:
-  SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy);
+  SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy,
+               noc::Network* net);
 
   void attach(Simulation& sim, RuntimeHost* host);
 
@@ -79,6 +81,7 @@ class SharpArbiter final : public Component {
 
   const NexusSharpConfig& cfg_;
   ArbiterPolicy policy_;
+  noc::Network* net_;  ///< write-back returns arbiter-node -> IO node
   ClockDomain clk_;
   RuntimeHost* host_ = nullptr;
   std::uint32_t self_ = 0;

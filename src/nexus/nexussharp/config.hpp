@@ -6,6 +6,7 @@
 
 #include "nexus/hw/distribution.hpp"
 #include "nexus/hw/task_graph_table.hpp"
+#include "nexus/noc/topology.hpp"
 
 namespace nexus {
 
@@ -16,6 +17,14 @@ struct NexusSharpConfig {
   /// In-flight task window; see NexusPPConfig::pool_capacity.
   std::size_t pool_capacity = 1024;
   hw::DistributionPolicy distribution = hw::DistributionPolicy::kXorFold;
+
+  /// On-manager interconnect carrying the distributed traffic: Input Parser
+  /// -> New/Finished Args, task graphs -> arbiter records, arbiter -> IO
+  /// write-backs. Node placement: IO/Input Parser at node 0, task graph i at
+  /// node 1+i, the Dependence Counts Arbiter at node 1+num_task_graphs. The
+  /// default (ideal crossbar at `fifo_latency`) is bit-identical to the
+  /// pre-NoC model; ring/mesh add per-hop distance and per-link contention.
+  noc::NocConfig noc{};
 
   // --- submission pipeline (Fig. 4) ---
   std::int64_t header_cycles = 2;      ///< IPh: header word (fn ptr + #params)
@@ -52,5 +61,16 @@ enum class ArbiterPolicy : std::uint8_t {
 };
 
 const char* to_string(ArbiterPolicy p);
+
+/// Nexus# NoC placement (see NexusSharpConfig::noc): the IO/Input Parser
+/// tile, one tile per task graph, then the arbiter tile.
+constexpr noc::NodeId sharp_io_node() { return 0; }
+constexpr noc::NodeId sharp_tg_node(std::uint32_t tg) { return 1 + tg; }
+constexpr noc::NodeId sharp_arbiter_node(std::uint32_t num_tgs) {
+  return 1 + num_tgs;
+}
+constexpr std::uint32_t sharp_noc_endpoints(std::uint32_t num_tgs) {
+  return num_tgs + 2;
+}
 
 }  // namespace nexus

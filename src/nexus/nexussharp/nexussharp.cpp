@@ -16,13 +16,20 @@ NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy
   NEXUS_ASSERT_MSG(distributor_.preserves_affinity(),
                    "dependency tracking requires an affinity-preserving "
                    "distribution function (Section IV-A)");
-  arbiter_ = std::make_unique<detail::SharpArbiter>(cfg_, arbiter_policy);
+  net_ = std::make_unique<noc::Network>(
+      cfg_.noc, sharp_noc_endpoints(cfg.num_task_graphs), cfg.freq_mhz,
+      clk_.cycles(cfg.fifo_latency));
+  arbiter_ =
+      std::make_unique<detail::SharpArbiter>(cfg_, arbiter_policy, net_.get());
   for (std::uint32_t i = 0; i < cfg.num_task_graphs; ++i)
-    tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i, arbiter_.get()));
+    tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i,
+                                                           arbiter_.get(),
+                                                           net_.get()));
 }
 
 void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
   pool_.bind_telemetry(reg, "nexus#/pool");
+  net_->bind_telemetry(reg, "nexus#/noc");
   arbiter_->bind_telemetry(reg, "nexus#/arbiter");
   m_route_.assign(cfg_.num_task_graphs, nullptr);
   for (std::uint32_t i = 0; i < cfg_.num_task_graphs; ++i) {
@@ -40,6 +47,8 @@ void NexusSharp::attach(Simulation& sim, RuntimeHost* host) {
   self_ = sim.add_component(this);
   arbiter_->attach(sim, host);
   for (auto& tg : tgs_) tg->attach(sim);
+  // Last, so the block's own components keep their pre-NoC ids/labels.
+  net_->attach(sim);
 }
 
 Tick NexusSharp::taskwait_on_query_cost() const {
@@ -80,13 +89,16 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
     arg.single_param = single;
     const std::uint32_t tgt = distributor_.target(p.addr);
     if (!m_route_.empty()) m_route_[tgt]->inc();
-    sim.schedule(arrival + cycles(cfg_.fifo_latency), tgs_[tgt]->component_id(),
-                 detail::TaskGraphUnit::kNewArg, detail::TaskGraphUnit::pack(arg),
-                 p.addr);
+    net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
+               tgs_[tgt]->component_id(), detail::TaskGraphUnit::kNewArg,
+               detail::TaskGraphUnit::pack(arg), p.addr);
   }
 
   // IPf: descriptor committed to the Task Pool one cycle after the last
   // parameter; the arbiter can conclude the task's gather from then on.
+  // This is a side-band pool-commit notification, not routed traffic: the
+  // arbiter's gather logic relies on seeing it before any ready record of
+  // the task, so it stays a direct (un-networked) signal on every topology.
   sim.schedule(recv_done, arbiter_->component_id(), detail::SharpArbiter::kMeta,
                static_cast<std::uint64_t>(task.id) |
                    (static_cast<std::uint64_t>(task.num_params()) << 32));
@@ -120,9 +132,9 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
     arg.is_writer = is_write(p.dir);
     const std::uint32_t tgt = distributor_.target(p.addr);
     if (!m_route_.empty()) m_route_[tgt]->inc();
-    sim.schedule(arrival + cycles(cfg_.fifo_latency), tgs_[tgt]->component_id(),
-                 detail::TaskGraphUnit::kFinishedArg,
-                 detail::TaskGraphUnit::pack(arg), p.addr);
+    net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
+               tgs_[tgt]->component_id(), detail::TaskGraphUnit::kFinishedArg,
+               detail::TaskGraphUnit::pack(arg), p.addr);
   }
   // The pool slot is reclaimable once the I/O list has been read out.
   sim.schedule(dist_done, self_, kFinishDistributed, id);

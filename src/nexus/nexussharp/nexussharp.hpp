@@ -20,6 +20,7 @@
 
 #include "nexus/hw/distribution.hpp"
 #include "nexus/hw/task_pool.hpp"
+#include "nexus/noc/network.hpp"
 #include "nexus/nexussharp/arbiter.hpp"
 #include "nexus/nexussharp/config.hpp"
 #include "nexus/nexussharp/task_graph_unit.hpp"
@@ -61,6 +62,8 @@ class NexusSharp final : public TaskManagerModel, public Component {
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const NexusSharpConfig& config() const { return cfg_; }
+  /// The on-manager interconnect (placement in NexusSharpConfig::noc docs).
+  [[nodiscard]] const noc::Network& network() const { return *net_; }
 
  private:
   enum Op : std::uint32_t {
@@ -77,6 +80,7 @@ class NexusSharp final : public TaskManagerModel, public Component {
   Server io_;  ///< Nexus IO / Input Parser occupancy (shared front end)
   hw::TaskPool pool_;
   hw::Distributor distributor_;
+  std::unique_ptr<noc::Network> net_;  ///< created before arbiter/TGUs
   std::unique_ptr<detail::SharpArbiter> arbiter_;
   std::vector<std::unique_ptr<detail::TaskGraphUnit>> tgs_;
 

@@ -7,10 +7,10 @@
 namespace nexus::detail {
 
 TaskGraphUnit::TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
-                             SharpArbiter* arbiter)
-    : cfg_(cfg), index_(index), arbiter_(arbiter), clk_(cfg.freq_mhz),
-      table_(cfg.table) {
-  NEXUS_ASSERT(arbiter != nullptr);
+                             SharpArbiter* arbiter, noc::Network* net)
+    : cfg_(cfg), index_(index), arbiter_(arbiter), net_(net),
+      clk_(cfg.freq_mhz), table_(cfg.table) {
+  NEXUS_ASSERT(arbiter != nullptr && net != nullptr);
 }
 
 void TaskGraphUnit::attach(Simulation& sim) { self_ = sim.add_component(this); }
@@ -106,11 +106,13 @@ Tick TaskGraphUnit::serve_finished(Simulation& sim, const Arg& a) {
                  static_cast<std::int64_t>(kicked_scratch_.size()));
   const Tick done = sim.now() + cost;
   // Kicked waiters land in the Waiting Tasks buffer; the arbiter sees them
-  // after the FIFO visibility latency.
+  // once the record crosses the interconnect (ideal: the FIFO visibility
+  // latency; ring/mesh: the tg->arbiter route).
   telemetry::inc(m_kicks_, kicked_scratch_.size());
   for (const auto& w : kicked_scratch_) {
-    sim.schedule(done + cycles(cfg_.fifo_latency), arbiter_->component_id(),
-                 SharpArbiter::kWait, w.task);
+    net_->send(sim, done, sharp_tg_node(index_),
+               sharp_arbiter_node(cfg_.num_task_graphs),
+               arbiter_->component_id(), SharpArbiter::kWait, w.task);
   }
   if (res.entry_freed && stalled_) stalled_ = false;
   return cost;
@@ -136,16 +138,18 @@ bool TaskGraphUnit::serve_new(Simulation& sim, Tick* cost) {
   if (runs_now && a.single_param) {
     // Immediately-ready single-parameter task: skip the gather step via the
     // Ready Tasks buffer (Section IV-C's short-circuit).
-    sim.schedule(done + cycles(cfg_.fifo_latency), arbiter_->component_id(),
-                 SharpArbiter::kReady, a.task);
+    net_->send(sim, done, sharp_tg_node(index_),
+               sharp_arbiter_node(cfg_.num_task_graphs),
+               arbiter_->component_id(), SharpArbiter::kReady, a.task);
   } else {
     // Dep. Counts buffer record: task id + whether this parameter blocks;
     // the source graph index selects the arbiter's per-graph buffer.
     const std::uint64_t rec =
         static_cast<std::uint64_t>(a.task) |
         (static_cast<std::uint64_t>(runs_now ? 0 : 1) << 32);
-    sim.schedule(done + cycles(cfg_.fifo_latency), arbiter_->component_id(),
-                 SharpArbiter::kDep, rec, index_);
+    net_->send(sim, done, sharp_tg_node(index_),
+               sharp_arbiter_node(cfg_.num_task_graphs),
+               arbiter_->component_id(), SharpArbiter::kDep, rec, index_);
   }
   return true;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nexus/hw/task_graph_table.hpp"
+#include "nexus/noc/network.hpp"
 #include "nexus/nexussharp/arbiter.hpp"
 #include "nexus/nexussharp/config.hpp"
 #include "nexus/sim/simulation.hpp"
@@ -24,7 +25,7 @@ namespace nexus::detail {
 class TaskGraphUnit final : public Component {
  public:
   TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
-                SharpArbiter* arbiter);
+                SharpArbiter* arbiter, noc::Network* net);
 
   void attach(Simulation& sim);
 
@@ -75,6 +76,7 @@ class TaskGraphUnit final : public Component {
   const NexusSharpConfig& cfg_;
   std::uint32_t index_;
   SharpArbiter* arbiter_;
+  noc::Network* net_;  ///< result records travel tg-node -> arbiter-node
   ClockDomain clk_;
   std::uint32_t self_ = 0;
 

@@ -1,0 +1,122 @@
+// The interconnect simulation component: typed messages over a Topology.
+//
+// A Network carries (component, op, a, b) payloads between nodes. Under the
+// ideal topology every send is delivered directly after the uniform latency
+// — no intermediate events, so wiring a Network into a block is provably
+// perturbation-free (the legacy fixed-latency FIFO behaviour, bit-identical,
+// is a tested contract). Under ring/mesh each message hops link by link:
+// a link accepts one flit every `link_cycles` (serialization => real
+// contention and queuing; a saturated link backs later flits up behind it),
+// and each hop adds `hop_cycles` of router+wire latency. Per-link
+// utilization, hop histograms, in-flight depth and contention stalls are
+// exported through the telemetry registry and are timeline-samplable like
+// every other component's metrics.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "nexus/noc/topology.hpp"
+#include "nexus/sim/simulation.hpp"
+#include "nexus/telemetry/fwd.hpp"
+#include "nexus/telemetry/metrics.hpp"
+
+namespace nexus::noc {
+
+class Network final : public Component {
+ public:
+  /// `default_mhz` clocks the interconnect when cfg.freq_mhz is 0 (the
+  /// owning block's domain); `ideal_latency` is the uniform delivery delay
+  /// under the ideal topology (the legacy FIFO visibility latency).
+  Network(const NocConfig& cfg, std::uint32_t endpoints, double default_mhz,
+          Tick ideal_latency);
+
+  /// Register with the simulation. Call after the owning block's own
+  /// components so their ids (and telemetry labels) keep their positions.
+  void attach(Simulation& sim);
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] bool ideal() const { return cfg_.ideal(); }
+  [[nodiscard]] const NocConfig& config() const { return cfg_; }
+
+  /// Deliver (comp, op, a, b) after traversing src -> dst, departing at
+  /// `depart` (>= sim.now()). Ideal: one event at depart + ideal_latency
+  /// (depart exactly, when src == dst). Ring/mesh: the message hops through
+  /// the network with per-link serialization and per-hop latency.
+  void send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
+            std::uint32_t comp, std::uint32_t op, std::uint64_t a = 0,
+            std::uint64_t b = 0);
+
+  // Component
+  void handle(Simulation& sim, const Event& ev) override;
+  [[nodiscard]] const char* telemetry_label() const override { return "noc"; }
+
+  /// Register interconnect metrics under `prefix` (e.g. "nexus#/noc"):
+  /// messages/delivered counters, hop + in-flight histograms, contention
+  /// stalls, and per-link flit counts and busy time.
+  void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
+
+  // --- introspection for tests and reports ---
+  struct Stats {
+    std::uint64_t messages = 0;   ///< send() calls
+    std::uint64_t delivered = 0;  ///< messages that reached their endpoint
+    std::uint64_t total_hops = 0;
+    std::uint64_t blocked_flits = 0;  ///< hop acquisitions that had to wait
+    Tick stall_ticks = 0;             ///< summed link-wait time
+    std::uint64_t max_in_flight = 0;
+    std::vector<std::uint64_t> link_flits;  ///< per link
+    std::vector<Tick> link_busy;            ///< per link, serialization time
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  enum Op : std::uint32_t {
+    kHop = 0,  ///< a = message slot
+  };
+
+  struct Msg {
+    NodeId at = 0;
+    NodeId dst = 0;
+    std::uint32_t comp = 0;
+    std::uint32_t op = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t hops = 0;
+  };
+
+  [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
+  void hop(Simulation& sim, std::uint32_t slot);
+
+  NocConfig cfg_;
+  Topology topo_;
+  ClockDomain clk_;
+  Tick ideal_latency_;
+  std::uint32_t self_ = 0;
+
+  std::vector<Msg> msgs_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t in_flight_ = 0;
+  std::vector<Tick> link_free_;  ///< per-link serialization horizon
+
+  // --- stats mirrors (always on; cheap integer updates) ---
+  std::uint64_t messages_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t blocked_flits_ = 0;
+  Tick stall_ticks_ = 0;
+  std::uint64_t max_in_flight_ = 0;
+  std::vector<std::uint64_t> link_flits_;
+  std::vector<Tick> link_busy_;
+
+  telemetry::Counter* m_messages_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_blocked_ = nullptr;
+  telemetry::Counter* m_stall_ticks_ = nullptr;     ///< picoseconds
+  telemetry::Histogram* m_hops_ = nullptr;          ///< per delivered message
+  telemetry::Histogram* m_in_flight_ = nullptr;     ///< depth at each inject
+  std::vector<telemetry::Counter*> m_link_flits_;   ///< per link
+  std::vector<telemetry::Counter*> m_link_busy_;    ///< per link, ps
+};
+
+}  // namespace nexus::noc

@@ -1,0 +1,156 @@
+#include "nexus/noc/topology.hpp"
+
+namespace nexus::noc {
+
+const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kIdeal: return "ideal";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kMesh: return "mesh";
+  }
+  return "?";
+}
+
+bool parse_topology(std::string_view name, TopologyKind* out) {
+  if (name == "ideal") {
+    *out = TopologyKind::kIdeal;
+  } else if (name == "ring") {
+    *out = TopologyKind::kRing;
+  } else if (name == "mesh") {
+    *out = TopologyKind::kMesh;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Topology::Topology(TopologyKind kind, std::uint32_t endpoints,
+                   std::uint32_t mesh_cols)
+    : kind_(kind), endpoints_(endpoints), nodes_(endpoints) {
+  NEXUS_ASSERT_MSG(endpoints >= 1, "topology needs at least one endpoint");
+  switch (kind_) {
+    case TopologyKind::kIdeal:
+      break;  // a crossbar: no modelled links
+    case TopologyKind::kRing: {
+      out_links_.resize(nodes_);
+      // Clockwise links first (i -> i+1), then counter-clockwise. A 2-node
+      // ring keeps one link per direction (the counter-clockwise set would
+      // duplicate it); a 1-node ring has no links at all.
+      if (nodes_ == 2) {
+        add_link(0, 1);
+        add_link(1, 0);
+      } else if (nodes_ > 2) {
+        for (NodeId i = 0; i < nodes_; ++i) add_link(i, (i + 1) % nodes_);
+        for (NodeId i = 0; i < nodes_; ++i)
+          add_link(i, (i + nodes_ - 1) % nodes_);
+      }
+      break;
+    }
+    case TopologyKind::kMesh: {
+      cols_ = mesh_cols;
+      if (cols_ == 0) {
+        while (cols_ * cols_ < endpoints_) ++cols_;
+      }
+      NEXUS_ASSERT_MSG(cols_ >= 1, "mesh needs at least one column");
+      rows_ = (endpoints_ + cols_ - 1) / cols_;
+      nodes_ = rows_ * cols_;  // full router grid; fillers host no endpoint
+      out_links_.resize(nodes_);
+      for (NodeId n = 0; n < nodes_; ++n) {
+        const std::uint32_t x = n % cols_;
+        const std::uint32_t y = n / cols_;
+        if (x + 1 < cols_) add_link(n, n + 1);
+        if (x > 0) add_link(n, n - 1);
+        if (y + 1 < rows_) add_link(n, n + cols_);
+        if (y > 0) add_link(n, n - cols_);
+      }
+      break;
+    }
+  }
+}
+
+void Topology::add_link(NodeId src, NodeId dst) {
+  out_links_[src].push_back(static_cast<LinkId>(links_.size()));
+  links_.push_back(Link{src, dst});
+}
+
+LinkId Topology::link_between(NodeId a, NodeId b) const {
+  for (const LinkId l : out_links_[a])
+    if (links_[l].dst == b) return l;
+  NEXUS_ASSERT_MSG(false, "no link between adjacent nodes");
+  return 0;
+}
+
+std::uint32_t Topology::hops(NodeId from, NodeId to) const {
+  NEXUS_DCHECK(from < nodes_ && to < nodes_);
+  if (from == to) return 0;
+  switch (kind_) {
+    case TopologyKind::kIdeal:
+      return 1;  // one crossbar traversal
+    case TopologyKind::kRing: {
+      const std::uint32_t cw = (to + nodes_ - from) % nodes_;
+      const std::uint32_t ccw = (from + nodes_ - to) % nodes_;
+      return cw <= ccw ? cw : ccw;
+    }
+    case TopologyKind::kMesh: {
+      const auto dx = static_cast<std::int64_t>(to % cols_) -
+                      static_cast<std::int64_t>(from % cols_);
+      const auto dy = static_cast<std::int64_t>(to / cols_) -
+                      static_cast<std::int64_t>(from / cols_);
+      return static_cast<std::uint32_t>((dx < 0 ? -dx : dx) +
+                                        (dy < 0 ? -dy : dy));
+    }
+  }
+  return 0;
+}
+
+LinkId Topology::next_link(NodeId from, NodeId to) const {
+  NEXUS_DCHECK(from != to && from < nodes_ && to < nodes_);
+  NEXUS_ASSERT_MSG(kind_ != TopologyKind::kIdeal,
+                   "the ideal crossbar has no routed links");
+  if (kind_ == TopologyKind::kRing) {
+    const std::uint32_t cw = (to + nodes_ - from) % nodes_;
+    const std::uint32_t ccw = (from + nodes_ - to) % nodes_;
+    // Shortest way; clockwise on a tie (deterministic across runs).
+    const NodeId next = cw <= ccw ? (from + 1) % nodes_
+                                  : (from + nodes_ - 1) % nodes_;
+    return link_between(from, next);
+  }
+  // Mesh: dimension-ordered XY routing — exhaust the x offset, then y.
+  const std::uint32_t fx = from % cols_;
+  const std::uint32_t tx = to % cols_;
+  NodeId next = 0;
+  if (fx != tx) {
+    next = fx < tx ? from + 1 : from - 1;
+  } else {
+    next = from / cols_ < to / cols_ ? from + cols_ : from - cols_;
+  }
+  return link_between(from, next);
+}
+
+void Topology::route(NodeId from, NodeId to, std::vector<LinkId>* out) const {
+  out->clear();
+  if (kind_ == TopologyKind::kIdeal) return;
+  NodeId at = from;
+  while (at != to) {
+    const LinkId l = next_link(at, to);
+    out->push_back(l);
+    at = links_[l].dst;
+  }
+}
+
+std::string Topology::link_label(LinkId l) const {
+  return "l" + std::to_string(l) + "_" + std::to_string(links_[l].src) + "to" +
+         std::to_string(links_[l].dst);
+}
+
+std::string Topology::describe() const {
+  switch (kind_) {
+    case TopologyKind::kIdeal: return "ideal";
+    case TopologyKind::kRing: return "ring" + std::to_string(nodes_);
+    case TopologyKind::kMesh:
+      return "mesh" + std::to_string(rows_) + "x" + std::to_string(cols_);
+  }
+  return "?";
+}
+
+}  // namespace nexus::noc

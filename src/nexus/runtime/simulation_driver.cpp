@@ -25,9 +25,20 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
   if (config_.metrics != nullptr) manager_.bind_telemetry(*config_.metrics);
   self_ = sim_.add_component(this);
   manager_.attach(sim_, this);
+  if (!config_.noc.ideal()) {
+    // Host NoC: manager/master tile at node 0, core w at node 1+w. Created
+    // only for real topologies — the ideal default keeps dispatch and
+    // notification synchronous (the pre-NoC code path, bit-identical).
+    host_net_ = std::make_unique<noc::Network>(
+        config_.noc, config_.workers + 1, /*default_mhz=*/100.0,
+        /*ideal_latency=*/0);
+    host_net_->attach(sim_);
+  }
   if (config_.metrics != nullptr) {
     // After attach so every manager component is registered with the kernel.
     sim_.bind_telemetry(*config_.metrics);
+    if (host_net_ != nullptr)
+      host_net_->bind_telemetry(*config_.metrics, "runtime/noc");
     m_ready_depth_ =
         &config_.metrics->histogram("runtime/ready_q_depth");
     m_dispatches_ = &config_.metrics->counter("runtime/dispatches");
@@ -90,6 +101,12 @@ void Driver::handle(Simulation& sim, const Event& ev) {
     case kWorkerFree:
       workers_.release(static_cast<std::uint32_t>(ev.a));
       try_dispatch(sim);
+      break;
+    case kDispatchArrived:
+      begin_task(sim, static_cast<std::uint32_t>(ev.a), static_cast<TaskId>(ev.b));
+      break;
+    case kNotifyArrived:
+      on_notify(sim, static_cast<std::uint32_t>(ev.a), static_cast<TaskId>(ev.b));
       break;
     default:
       NEXUS_ASSERT_MSG(false, "unknown driver op");
@@ -188,22 +205,48 @@ void Driver::try_dispatch(Simulation& sim) {
     const Tick start =
         manager_.dispatch_time(sim) + config_.host_message_cost;
     NEXUS_ASSERT(start >= sim.now());
+    telemetry::inc(m_dispatches_);
+    if (host_net_ != nullptr) {
+      // The dispatch record additionally crosses the host NoC from the
+      // manager tile to the claimed core; execution starts on arrival.
+      host_net_->send(sim, start, 0, 1 + w, self_, kDispatchArrived, w, id);
+      continue;
+    }
     const Tick end = start + trace_.task(id).duration;
     workers_.occupy(w, sim.now(), end);
-    telemetry::inc(m_dispatches_);
     if (config_.schedule_out != nullptr)
       config_.schedule_out->push_back(ScheduleEntry{id, w, start, end});
     sim.schedule(end, self_, kTaskDone, w, id);
   }
 }
 
+void Driver::begin_task(Simulation& sim, std::uint32_t worker, TaskId id) {
+  const Tick start = sim.now();
+  const Tick end = start + trace_.task(id).duration;
+  workers_.occupy(worker, start, end);
+  if (config_.schedule_out != nullptr)
+    config_.schedule_out->push_back(ScheduleEntry{id, worker, start, end});
+  sim.schedule(end, self_, kTaskDone, worker, id);
+}
+
 void Driver::on_task_done(Simulation& sim, std::uint32_t worker, TaskId id) {
+  last_activity_ = sim.now();
+  if (host_net_ != nullptr) {
+    // The finish notification crosses the host NoC back to the manager
+    // tile; the worker stays reserved until the manager accepts it.
+    host_net_->send(sim, sim.now(), 1 + worker, 0, self_, kNotifyArrived,
+                    worker, id);
+    return;
+  }
+  on_notify(sim, worker, id);
+}
+
+void Driver::on_notify(Simulation& sim, std::uint32_t worker, TaskId id) {
   NEXUS_ASSERT(!finished_[id]);
   finished_[id] = true;
   ++finished_count_;
   NEXUS_ASSERT(outstanding_ > 0);
   --outstanding_;
-  last_activity_ = sim.now();
 
   // The completion path (software: completion critical section on this
   // worker; hardware: finish notification write) holds the worker until

@@ -6,10 +6,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "nexus/noc/network.hpp"
 #include "nexus/runtime/machine.hpp"
 #include "nexus/runtime/manager.hpp"
 #include "nexus/sim/simulation.hpp"
@@ -39,6 +41,15 @@ struct RuntimeConfig {
   /// overhead is accounted; nonzero values emulate a driver/PCIe stack as
   /// in the Nexus++ integration paper [11]. See DESIGN.md §5.
   Tick host_message_cost = 0;
+
+  /// Host-side interconnect between the manager/master tile (node 0) and
+  /// the worker cores (core w at node 1+w). The default ideal topology is
+  /// the pre-NoC behaviour, bit-identical: dispatch and finish notification
+  /// stay synchronous. On ring/mesh, every ready-task dispatch traverses
+  /// manager -> core and every finish notification core -> manager over a
+  /// `noc::Network` (clocked at 100 MHz unless noc.freq_mhz overrides), so
+  /// core placement distance and link contention become visible.
+  noc::NocConfig noc{};
 
   /// If nonnull, every executed task interval is appended (tests validate
   /// that no dependency or hazard is violated by a manager's schedule).
@@ -99,8 +110,10 @@ class Driver final : public Component, public RuntimeHost {
  private:
   enum Op : std::uint32_t {
     kMasterStep = 0,
-    kTaskDone = 1,    ///< a = worker, b = task
-    kWorkerFree = 2,  ///< a = worker
+    kTaskDone = 1,         ///< a = worker, b = task
+    kWorkerFree = 2,       ///< a = worker
+    kDispatchArrived = 3,  ///< a = worker, b = task (host NoC, non-ideal)
+    kNotifyArrived = 4,    ///< a = worker, b = task (host NoC, non-ideal)
   };
 
   enum class MasterState : std::uint8_t {
@@ -113,7 +126,9 @@ class Driver final : public Component, public RuntimeHost {
 
   void master_step(Simulation& sim);
   void try_dispatch(Simulation& sim);
+  void begin_task(Simulation& sim, std::uint32_t worker, TaskId id);
   void on_task_done(Simulation& sim, std::uint32_t worker, TaskId id);
+  void on_notify(Simulation& sim, std::uint32_t worker, TaskId id);
   void finish_barrier_checks(Simulation& sim);
 
   const Trace& trace_;
@@ -122,6 +137,9 @@ class Driver final : public Component, public RuntimeHost {
 
   Simulation sim_;
   std::uint32_t self_ = 0;
+  /// Host NoC (null under the ideal default, where both directions stay
+  /// synchronous — the pre-NoC code path, bit-identical).
+  std::unique_ptr<noc::Network> host_net_;
 
   WorkerPool workers_;
   std::deque<TaskId> ready_queue_;

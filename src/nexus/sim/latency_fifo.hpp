@@ -33,7 +33,9 @@ class LatencyFifo {
     telemetry::record(m_depth_, ring_.size());
   }
 
-  /// Record post-push depth into `h` (null detaches; no-op by default).
+  /// Record post-push and post-pop depth into `h` (null detaches; no-op by
+  /// default). Sampling both sides covers the drain transitions too, so the
+  /// histogram sees the full depth trajectory instead of only its rises.
   void bind_depth_telemetry(telemetry::Histogram* h) { m_depth_ = h; }
 
   /// Time at which the front item can be consumed (kTickInfinity if empty).
@@ -48,7 +50,11 @@ class LatencyFifo {
 
   [[nodiscard]] const T& front() const { return ring_.front().value; }
 
-  T pop() { return ring_.pop().value; }
+  T pop() {
+    T v = ring_.pop().value;
+    telemetry::record(m_depth_, ring_.size());
+    return v;
+  }
 
  private:
   struct Entry {

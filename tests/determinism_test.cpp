@@ -228,5 +228,51 @@ TEST(Determinism, RunTraceReproducesScheduleExactly) {
   }
 }
 
+TEST(Determinism, NetworkEventOrderingReproduces) {
+  // Mesh topologies multiply event counts (one per hop) and break every
+  // message into link acquisitions whose FIFO order is decided purely by
+  // (time, issue-seq) — two identical runs must agree on the makespan, the
+  // full schedule, and every NoC counter.
+  workloads::GaussianConfig gcfg;
+  gcfg.n = 60;
+  const Trace tr = workloads::make_gaussian(gcfg);
+
+  auto run_mesh = [&tr](std::vector<ScheduleEntry>* sched, RunResult* out) {
+    NexusSharpConfig cfg;
+    cfg.num_task_graphs = 4;
+    cfg.freq_mhz = 100.0;
+    cfg.noc.kind = noc::TopologyKind::kMesh;
+    NexusSharp mgr(cfg);
+    RuntimeConfig rc;
+    rc.workers = 8;
+    rc.noc.kind = noc::TopologyKind::kRing;  // host ring, manager mesh
+    rc.schedule_out = sched;
+    *out = run_trace(tr, mgr, rc);
+    return mgr.network().stats();
+  };
+
+  std::vector<ScheduleEntry> sched_a, sched_b;
+  RunResult a, b;
+  const noc::Network::Stats na = run_mesh(&sched_a, &a);
+  const noc::Network::Stats nb = run_mesh(&sched_b, &b);
+
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_GT(na.blocked_flits, 0u) << "the mesh run never contended";
+  EXPECT_EQ(na.messages, nb.messages);
+  EXPECT_EQ(na.total_hops, nb.total_hops);
+  EXPECT_EQ(na.blocked_flits, nb.blocked_flits);
+  EXPECT_EQ(na.stall_ticks, nb.stall_ticks);
+  EXPECT_EQ(na.link_flits, nb.link_flits);
+  EXPECT_EQ(na.link_busy, nb.link_busy);
+  ASSERT_EQ(sched_a.size(), sched_b.size());
+  for (std::size_t i = 0; i < sched_a.size(); ++i) {
+    EXPECT_EQ(sched_a[i].task, sched_b[i].task) << "entry " << i;
+    EXPECT_EQ(sched_a[i].worker, sched_b[i].worker) << "entry " << i;
+    EXPECT_EQ(sched_a[i].start, sched_b[i].start) << "entry " << i;
+    EXPECT_EQ(sched_a[i].end, sched_b[i].end) << "entry " << i;
+  }
+}
+
 }  // namespace
 }  // namespace nexus

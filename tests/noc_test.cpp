@@ -1,0 +1,399 @@
+// nexus::noc tests: routing geometry (XY mesh, shortest-way ring), link
+// contention serialization, queuing/backpressure behind a bottleneck link,
+// hop-count goldens, and the subsystem's load-bearing contract — the ideal
+// topology reproduces the pre-NoC ("seed") makespans bit-identically, while
+// ring/mesh bound them from above.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nexus/noc/network.hpp"
+#include "nexus/noc/topology.hpp"
+#include "nexus/nexuspp/nexuspp.hpp"
+#include "nexus/nexussharp/nexussharp.hpp"
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/telemetry/registry.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus {
+namespace {
+
+using noc::Network;
+using noc::NocConfig;
+using noc::Topology;
+using noc::TopologyKind;
+
+constexpr Tick kCycle = 10000;  // 10 ns at 100 MHz
+
+// ---------- topology geometry ----------
+
+TEST(Topology, ParseAndToString) {
+  TopologyKind k = TopologyKind::kMesh;
+  EXPECT_TRUE(noc::parse_topology("ideal", &k));
+  EXPECT_EQ(k, TopologyKind::kIdeal);
+  EXPECT_TRUE(noc::parse_topology("ring", &k));
+  EXPECT_EQ(k, TopologyKind::kRing);
+  EXPECT_TRUE(noc::parse_topology("mesh", &k));
+  EXPECT_EQ(k, TopologyKind::kMesh);
+  EXPECT_FALSE(noc::parse_topology("torus", &k));
+  EXPECT_STREQ(noc::to_string(TopologyKind::kRing), "ring");
+}
+
+TEST(Topology, IdealHasNoLinksAndUnitHops) {
+  const Topology t(TopologyKind::kIdeal, 8);
+  EXPECT_EQ(t.link_count(), 0u);
+  EXPECT_EQ(t.node_count(), 8u);
+  EXPECT_EQ(t.hops(3, 3), 0u);
+  EXPECT_EQ(t.hops(0, 7), 1u);
+  EXPECT_EQ(t.describe(), "ideal");
+}
+
+TEST(Topology, RingShortestWayWithClockwiseTieBreak) {
+  const Topology t(TopologyKind::kRing, 6);
+  EXPECT_EQ(t.node_count(), 6u);
+  EXPECT_EQ(t.link_count(), 12u);  // cw + ccw per node
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(0, 5), 1u);  // counter-clockwise is shorter
+  EXPECT_EQ(t.hops(1, 4), 3u);  // tie: both ways are 3
+  EXPECT_EQ(t.describe(), "ring6");
+
+  // Tie-break must route clockwise: 1 -> 2 -> 3 -> 4.
+  std::vector<noc::LinkId> route;
+  t.route(1, 4, &route);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(t.link_dst(route[0]), 2u);
+  EXPECT_EQ(t.link_dst(route[1]), 3u);
+  EXPECT_EQ(t.link_dst(route[2]), 4u);
+
+  // Shortest way wraps: 0 -> 5 uses the single counter-clockwise link.
+  t.route(0, 5, &route);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(t.link_src(route[0]), 0u);
+  EXPECT_EQ(t.link_dst(route[0]), 5u);
+}
+
+TEST(Topology, TwoNodeRingKeepsOneLinkPerDirection) {
+  const Topology t(TopologyKind::kRing, 2);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.hops(0, 1), 1u);
+  EXPECT_EQ(t.hops(1, 0), 1u);
+}
+
+TEST(Topology, MeshAutoGeometryIsNearSquare) {
+  // 8 endpoints -> 3x3 router grid (the 9th router is a filler).
+  const Topology t(TopologyKind::kMesh, 8);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.node_count(), 9u);
+  EXPECT_EQ(t.describe(), "mesh3x3");
+  // 2D mesh directed links: 2 * (rows*(cols-1) + cols*(rows-1)) = 24.
+  EXPECT_EQ(t.link_count(), 24u);
+
+  const Topology wide(TopologyKind::kMesh, 8, /*mesh_cols=*/4);
+  EXPECT_EQ(wide.cols(), 4u);
+  EXPECT_EQ(wide.rows(), 2u);
+  EXPECT_EQ(wide.describe(), "mesh2x4");
+}
+
+TEST(Topology, MeshXYRoutingGoldens) {
+  //  0 1 2
+  //  3 4 5
+  //  6 7 8
+  const Topology t(TopologyKind::kMesh, 9);
+  EXPECT_EQ(t.hops(0, 8), 4u);
+  EXPECT_EQ(t.hops(2, 6), 4u);
+  EXPECT_EQ(t.hops(4, 4), 0u);
+
+  // XY: exhaust x first, then y — 0 -> 1 -> 2 -> 5 -> 8.
+  std::vector<noc::LinkId> route;
+  t.route(0, 8, &route);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(t.link_dst(route[0]), 1u);
+  EXPECT_EQ(t.link_dst(route[1]), 2u);
+  EXPECT_EQ(t.link_dst(route[2]), 5u);
+  EXPECT_EQ(t.link_dst(route[3]), 8u);
+
+  // 8 -> 3: x first (8 -> 7 -> 6), then y (6 -> 3).
+  t.route(8, 3, &route);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(t.link_dst(route[0]), 7u);
+  EXPECT_EQ(t.link_dst(route[1]), 6u);
+  EXPECT_EQ(t.link_dst(route[2]), 3u);
+}
+
+TEST(Topology, LinkLabelsAreTelemetryPathSafe) {
+  const Topology t(TopologyKind::kRing, 3);
+  const std::string label = t.link_label(0);
+  EXPECT_EQ(label, "l0_0to1");
+  EXPECT_EQ(label.find('/'), std::string::npos);
+}
+
+// ---------- network dynamics ----------
+
+/// Collects (time, op, a) triples for every delivered payload.
+struct Sink final : Component {
+  struct Delivery {
+    Tick t;
+    std::uint32_t op;
+    std::uint64_t a;
+  };
+  std::vector<Delivery> seen;
+  void handle(Simulation& sim, const Event& ev) override {
+    seen.push_back({sim.now(), ev.op, ev.a});
+  }
+};
+
+NocConfig cfg_kind(TopologyKind kind, std::int64_t hop = 1,
+                   std::int64_t link = 1) {
+  NocConfig cfg;
+  cfg.kind = kind;
+  cfg.hop_cycles = hop;
+  cfg.link_cycles = link;
+  return cfg;
+}
+
+TEST(Network, IdealDeliversAtUniformLatency) {
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  Network net(cfg_kind(TopologyKind::kIdeal), 4, 100.0,
+              /*ideal_latency=*/3 * kCycle);
+  net.attach(sim);
+  net.send(sim, 0, 0, 3, dst, 7, 42);
+  net.send(sim, 0, 0, 3, dst, 7, 43);  // a crossbar never contends
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[0].t, 3 * kCycle);
+  EXPECT_EQ(sink.seen[1].t, 3 * kCycle);
+  EXPECT_EQ(sink.seen[0].a, 42u);
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.messages, 2u);
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.total_hops, 2u);
+  EXPECT_EQ(s.blocked_flits, 0u);
+}
+
+TEST(Network, LinkSerializesOneFlitPerLinkCycles) {
+  // Two nodes, four same-instant messages on the one 0->1 link: arrivals
+  // separate by link_cycles (1 cycle) — this is the contention the ideal
+  // crossbar cannot see.
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  Network net(cfg_kind(TopologyKind::kRing, /*hop=*/1, /*link=*/1), 2, 100.0, 0);
+  net.attach(sim);
+  for (std::uint64_t i = 0; i < 4; ++i) net.send(sim, 0, 0, 1, dst, 0, i);
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sink.seen[i].a, i) << "FIFO order must hold on one link";
+    EXPECT_EQ(sink.seen[i].t, static_cast<Tick>(i + 1) * kCycle);
+  }
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.blocked_flits, 3u);                      // msgs 1..3 waited
+  EXPECT_EQ(s.stall_ticks, (1 + 2 + 3) * kCycle);      // 1+2+3 cycles
+  EXPECT_EQ(s.link_flits[0], 4u);
+  EXPECT_EQ(s.link_busy[0], 4 * kCycle);
+  EXPECT_EQ(s.max_in_flight, 4u);
+}
+
+TEST(Network, BottleneckLinkBacksUpUpstreamTraffic) {
+  // 1x3 mesh (0 - 1 - 2): a burst from node 0 and a burst from node 1 both
+  // need link 1->2. The later-injected flits from node 0 queue behind
+  // node 1's at the shared link — their delivery times stretch out even
+  // though their first hop (0->1) was uncontended.
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  NocConfig cfg = cfg_kind(TopologyKind::kMesh, /*hop=*/1, /*link=*/1);
+  cfg.mesh_cols = 3;  // force the 1x3 row (auto geometry would pick 2x2)
+  Network net(cfg, 3, 100.0, 0);
+  ASSERT_EQ(net.topology().rows(), 1u);
+  net.attach(sim);
+  for (std::uint64_t i = 0; i < 3; ++i) net.send(sim, 0, 1, 2, dst, 1, i);
+  net.send(sim, 0, 0, 2, dst, 0, 99);  // two hops, shares link 1->2
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 4u);
+  // Node 1's burst serializes at cycles 1, 2, 3; the 0->2 message reaches
+  // node 1 at cycle 1 but finds the shared link owned until cycle 3, so it
+  // arrives at cycle 4 instead of the uncontended 2.
+  EXPECT_EQ(sink.seen.back().a, 99u);
+  EXPECT_EQ(sink.seen.back().t, 4 * kCycle);
+  EXPECT_GT(net.stats().stall_ticks, 0);
+}
+
+TEST(Network, HopCountGoldensAcrossTheMesh) {
+  // 3x3 mesh: corner-to-corner message records 4 hops; neighbours 1.
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  Network net(cfg_kind(TopologyKind::kMesh, /*hop=*/2, /*link=*/1), 9, 100.0, 0);
+  net.attach(sim);
+  net.send(sim, 0, 0, 8, dst, 0, 1);
+  net.send(sim, 0, 3, 4, dst, 0, 2);
+  sim.run();
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.total_hops, 5u);
+  // Uncontended latency = hops * hop_cycles.
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[0].a, 2u);
+  EXPECT_EQ(sink.seen[0].t, 1 * 2 * kCycle);  // 1 hop * 2 cycles
+  EXPECT_EQ(sink.seen[1].t, 4 * 2 * kCycle);  // 4 hops * 2 cycles
+}
+
+TEST(Network, TelemetryMatchesStats) {
+  telemetry::MetricRegistry reg;
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  Network net(cfg_kind(TopologyKind::kRing), 2, 100.0, 0);
+  net.attach(sim);
+  net.bind_telemetry(reg, "noc");
+  for (std::uint64_t i = 0; i < 3; ++i) net.send(sim, 0, 0, 1, dst, 0, i);
+  sim.run();
+  const telemetry::Snapshot snap = reg.snapshot();
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(snap.counter_at("noc/messages"), s.messages);
+  EXPECT_EQ(snap.counter_at("noc/delivered"), s.delivered);
+  EXPECT_EQ(snap.counter_at("noc/blocked_flits"), s.blocked_flits);
+  EXPECT_EQ(snap.counter_at("noc/stall_ps"),
+            static_cast<std::uint64_t>(s.stall_ticks));
+  EXPECT_EQ(snap.counter_at("noc/link/l0_0to1/flits"), s.link_flits[0]);
+  const telemetry::MetricValue* hops = snap.find("noc/hops");
+  ASSERT_NE(hops, nullptr);
+  EXPECT_EQ(hops->hist.count, s.delivered);
+  EXPECT_EQ(hops->hist.sum, s.total_hops);
+}
+
+// ---------- whole-stack contracts ----------
+
+NexusSharpConfig sharp_cfg(std::uint32_t tgs, double mhz,
+                           TopologyKind kind = TopologyKind::kIdeal) {
+  NexusSharpConfig cfg;
+  cfg.num_task_graphs = tgs;
+  if (mhz > 0.0) cfg.freq_mhz = mhz;
+  cfg.noc.kind = kind;
+  return cfg;
+}
+
+// Pre-NoC ("seed") makespans, captured on the commit before this subsystem
+// landed. The default ideal topology must reproduce them bit-identically:
+// attaching the Network may not perturb a single event.
+constexpr Tick kSeedSharp4Gauss120W16 = 868065000;
+constexpr Tick kSeedSharp6Gauss120W16 = 1562408195;
+constexpr Tick kSeedNppGauss120W8 = 1300582000;
+
+TEST(NocIntegration, IdealTopologyReproducesSeedMakespans) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  {
+    NexusSharp mgr(sharp_cfg(4, 100.0));
+    EXPECT_EQ(run_trace(tr, mgr, RuntimeConfig{.workers = 16}).makespan,
+              kSeedSharp4Gauss120W16);
+  }
+  {
+    NexusSharp mgr;  // default config: 6 TGs, ideal NoC
+    EXPECT_EQ(run_trace(tr, mgr, RuntimeConfig{.workers = 16}).makespan,
+              kSeedSharp6Gauss120W16);
+  }
+  {
+    NexusPP mgr;
+    EXPECT_EQ(run_trace(tr, mgr, RuntimeConfig{.workers = 8}).makespan,
+              kSeedNppGauss120W8);
+  }
+}
+
+TEST(NocIntegration, IdealNetworkWithTelemetryDoesNotPerturb) {
+  // The no-perturbation contract, end to end: binding a registry (which
+  // also instruments every NoC) and explicitly setting the ideal topology
+  // on both the manager and the host changes no makespan.
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  telemetry::MetricRegistry reg;
+  NexusSharp mgr(sharp_cfg(4, 100.0, TopologyKind::kIdeal));
+  RuntimeConfig rc;
+  rc.workers = 16;
+  rc.noc.kind = TopologyKind::kIdeal;
+  rc.metrics = &reg;
+  EXPECT_EQ(run_trace(tr, mgr, rc).makespan, kSeedSharp4Gauss120W16);
+  // The ideal interconnect still observes its traffic.
+  const telemetry::Snapshot snap = reg.snapshot();
+  EXPECT_GT(snap.counter_at("nexus#/noc/messages"), 0u);
+  EXPECT_EQ(snap.counter_at("nexus#/noc/blocked_flits"), 0u);
+}
+
+TEST(NocIntegration, RingAndMeshBoundIdealFromAbove) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  Tick ideal = 0;
+  for (const TopologyKind kind :
+       {TopologyKind::kIdeal, TopologyKind::kRing, TopologyKind::kMesh}) {
+    NexusSharp mgr(sharp_cfg(6, 0.0, kind));
+    RuntimeConfig rc;
+    rc.workers = 16;
+    rc.noc.kind = kind;
+    const Tick makespan = run_trace(tr, mgr, rc).makespan;
+    if (kind == TopologyKind::kIdeal) {
+      ideal = makespan;
+      EXPECT_EQ(makespan, kSeedSharp6Gauss120W16);
+    } else {
+      EXPECT_GT(makespan, ideal)
+          << noc::to_string(kind)
+          << " must pay distance + contention over the ideal crossbar";
+      const Network::Stats s = mgr.network().stats();
+      EXPECT_GT(s.blocked_flits, 0u);
+      EXPECT_GT(s.stall_ticks, 0);
+      EXPECT_GT(s.total_hops, s.delivered);  // mean hop count > 1
+    }
+  }
+}
+
+TEST(NocIntegration, MeshRunDrainsAndStaysLive) {
+  // The reordering a real topology introduces (records overtaking each
+  // other on different routes) must not wedge the arbiter's gather logic.
+  const Trace tr = workloads::make_workload("h264dec-8x8-10f");
+  NexusSharp mgr(sharp_cfg(6, 0.0, TopologyKind::kMesh));
+  RuntimeConfig rc;
+  rc.workers = 32;
+  rc.noc.kind = TopologyKind::kMesh;
+  const RunResult r = run_trace(tr, mgr, rc);
+  EXPECT_EQ(r.tasks, tr.num_tasks());
+  const NexusSharp::Stats s = mgr.stats();
+  EXPECT_EQ(s.sim_tasks_live, 0u);
+  EXPECT_EQ(s.tasks_in, tr.num_tasks());
+  EXPECT_EQ(s.ready_out, tr.num_tasks());
+}
+
+TEST(NocIntegration, HostNocChargesDispatchAndNotifyDistance) {
+  // A single task on one worker: the host mesh adds the manager->core and
+  // core->manager traversals around the execution interval.
+  Trace tr("t");
+  tr.submit(0, us(5), {{0x40, Dir::kOut}});
+  tr.taskwait();
+  const auto run_with = [&tr](TopologyKind kind) {
+    NexusSharp mgr(sharp_cfg(2, 100.0));
+    RuntimeConfig rc;
+    rc.workers = 4;
+    rc.noc.kind = kind;
+    return run_trace(tr, mgr, rc).makespan;
+  };
+  const Tick ideal = run_with(TopologyKind::kIdeal);
+  const Tick ring = run_with(TopologyKind::kRing);
+  // Worker 0 sits at host node 1: one hop out, one hop back = 2 hops of 3
+  // cycles each at the host NoC's 100 MHz clock.
+  EXPECT_EQ(ring, ideal + 2 * 3 * kCycle);
+}
+
+TEST(NocIntegration, NexusPPRingSerializesTheOneLinkPair) {
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  NexusPPConfig cfg;
+  cfg.noc.kind = TopologyKind::kRing;
+  NexusPP mgr(cfg);
+  const Tick makespan = run_trace(tr, mgr, RuntimeConfig{.workers = 8}).makespan;
+  EXPECT_GT(makespan, kSeedNppGauss120W8);
+  const Network::Stats s = mgr.network().stats();
+  EXPECT_EQ(s.delivered, s.messages);
+  EXPECT_EQ(s.total_hops, s.delivered);  // every route is the single hop
+}
+
+}  // namespace
+}  // namespace nexus

@@ -100,13 +100,31 @@ TEST(BenchRecords, ParsesSchema2WithFlattenedHistograms) {
   ASSERT_EQ(recs.size(), 1u);
   const BenchRecord& r = recs[0];
   EXPECT_EQ(r.schema, 2);
-  EXPECT_EQ(r.key(), "table2|c-ray|nexus#|32");
+  // No "topology" field => ideal, so pre-NoC baselines join against ideal
+  // candidates.
+  EXPECT_EQ(r.topology, "ideal");
+  EXPECT_EQ(r.key(), "table2|c-ray|nexus#|ideal|32");
   EXPECT_EQ(r.makespan, 1000000);
   EXPECT_DOUBLE_EQ(r.speedup, 31.4);
   EXPECT_DOUBLE_EQ(r.metric_sum("*/arbiter/conflicts"), 40.0);
   EXPECT_DOUBLE_EQ(r.metric_sum("nexus#/pool/occupancy:count"), 10.0);
   EXPECT_DOUBLE_EQ(r.metric_sum("nexus#/pool/occupancy:mean"), 5.0);
   EXPECT_DOUBLE_EQ(r.tasks(), 100.0);
+}
+
+TEST(BenchRecords, TopologyFieldJoinsSeparately) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  ASSERT_TRUE(parse_bench_records(
+      R"([{"schema":2,"bench":"ablation_topology","workload":"h264dec-8x8-10f",
+           "manager":"nexus#-6TG@55.56MHz","topology":"mesh","cores":8,
+           "makespan":5,"speedup":1.0,"metrics":{}}])",
+      &recs, &error))
+      << error;
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].topology, "mesh");
+  EXPECT_EQ(recs[0].key(),
+            "ablation_topology|h264dec-8x8-10f|nexus#-6TG@55.56MHz|mesh|8");
 }
 
 TEST(BenchRecords, SchemalessRecordsAreSchema1) {

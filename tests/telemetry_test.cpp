@@ -244,7 +244,7 @@ TEST(MetricsReportJson, AppendsTimelineWhenGiven) {
 
 // ---------- sim-layer hooks ----------
 
-TEST(LatencyFifoTelemetry, RecordsDepthOnPush) {
+TEST(LatencyFifoTelemetry, RecordsDepthOnPushAndPop) {
   Histogram depth;
   LatencyFifo<int> f(4, ns(30));
   f.bind_depth_telemetry(&depth);
@@ -252,9 +252,16 @@ TEST(LatencyFifoTelemetry, RecordsDepthOnPush) {
   f.push(0, 2);
   (void)f.pop();
   f.push(ns(100), 3);
-  EXPECT_EQ(depth.count(), 3u);
-  EXPECT_EQ(depth.max(), 2u);  // depths seen: 1, 2, 2
-  EXPECT_EQ(depth.sum(), 5u);
+  // Depths seen: push->1, push->2, pop->1, push->2. Recording the drain
+  // side too is what lets the histogram show a queue emptying, not only
+  // filling.
+  EXPECT_EQ(depth.count(), 4u);
+  EXPECT_EQ(depth.max(), 2u);
+  EXPECT_EQ(depth.sum(), 6u);
+  (void)f.pop();
+  (void)f.pop();
+  EXPECT_EQ(depth.count(), 6u);
+  EXPECT_EQ(depth.sum(), 7u);  // drain records depths 1 then 0
 }
 
 // ---------- whole-stack integration ----------
