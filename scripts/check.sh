@@ -34,7 +34,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json
-               BENCH_topology.json)
+               BENCH_topology.json BENCH_placement.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -93,6 +93,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/fig9_gaussian_speedup" --quick
   smoke "${B}/ablation_arbiter" --quick
   smoke "${B}/ablation_distribution" --quick
+  smoke "${B}/ablation_placement" --quick
   smoke "${B}/ablation_pool_window" --quick
   smoke "${B}/ablation_topology" --quick
   smoke "${B}/multiapp" --quick
@@ -105,6 +106,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/fig8_starbench" --quick --json BENCH_fig8.json --timeline
   smoke "${B}/fig9_gaussian_speedup" --quick --json BENCH_fig9.json --timeline
   smoke "${B}/ablation_topology" --quick --json BENCH_topology.json --timeline
+  smoke "${B}/ablation_placement" --quick --json BENCH_placement.json --timeline
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
   if [[ "${DIFF}" -eq 1 ]]; then

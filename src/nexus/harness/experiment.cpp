@@ -84,6 +84,18 @@ std::string topology_label(const ManagerSpec& spec, const RuntimeConfig& base) {
   return std::string(noc::to_string(mgr)) + "+host-" + noc::to_string(host);
 }
 
+std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base) {
+  std::string mgr = "default";
+  if (spec.kind == ManagerSpec::Kind::kNexusSharp)
+    mgr = spec.sharp.noc.placement_name;
+  if (spec.kind == ManagerSpec::Kind::kNexusPP) mgr = spec.npp.noc.placement_name;
+  const std::string& host = base.noc.placement_name;
+  if (mgr == host) return mgr;
+  if (mgr == "default") return "host-" + host;
+  if (host == "default") return mgr;
+  return mgr + "+host-" + host;
+}
+
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base) {
   // The fast list scheduler computes the identical makespan (tested against
@@ -111,6 +123,7 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
   }
   RunReport rep;
   rep.topology = topology_label(spec, base);
+  rep.placement = placement_label(spec, base);
   switch (spec.kind) {
     case ManagerSpec::Kind::kIdeal: {
       IdealManager mgr;
@@ -150,6 +163,7 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
     SweepPoint p;
     p.cores = c;
     p.topology = topology_label(spec, base);
+    p.placement = placement_label(spec, base);
     if (collect_metrics || timeline != nullptr) {
       RunReport rep = run_once_report(trace, spec, c, base, true, timeline);
       p.makespan = rep.result.makespan;
@@ -181,10 +195,10 @@ telemetry::TimelineConfig bench_timeline_config() {
       // Occupancy transients: queue depths and pool fill.
       "nexus#/arbiter/ready_q_depth", "nexus#/pool/occupancy",
       "runtime/ready_q_depth",
-      // Interconnect pressure: message flow, in-flight depth and stalls on
-      // every NoC (manager-side nexus#/noc, nexus++/noc and runtime/noc).
-      "**/noc/messages", "**/noc/in_flight", "**/noc/stall_ps",
-      "**/noc/blocked_flits",
+      // Interconnect pressure: message/flit flow, in-flight depth and
+      // stalls on every NoC (nexus#/noc, nexus++/noc and runtime/noc).
+      "**/noc/messages", "**/noc/flits", "**/noc/in_flight",
+      "**/noc/stall_ps", "**/noc/blocked_flits",
       // Routing balance over time and host dispatch activity.
       "nexus#/tg*/routed", "runtime/dispatches", "sim/events",
   };
@@ -196,15 +210,19 @@ std::string metrics_report_json(std::string_view bench, std::string_view workloa
                                 Tick makespan, double speedup,
                                 const telemetry::Snapshot* metrics,
                                 const telemetry::Timeline* timeline,
-                                std::string_view topology) {
+                                std::string_view topology,
+                                std::string_view placement) {
   telemetry::JsonWriter w;
   w.begin_object();
   w.kv("schema", 2);
   w.kv("bench", bench);
   w.kv("workload", workload);
   w.kv("manager", manager);
-  // Optional: absent means "ideal", so pre-NoC records stay joinable.
+  // Optional: absent means "ideal"/"default", so older records stay
+  // joinable.
   if (!topology.empty() && topology != "ideal") w.kv("topology", topology);
+  if (!placement.empty() && placement != "default")
+    w.kv("placement", placement);
   w.kv("cores", cores);
   w.kv("makespan", makespan);
   w.kv("speedup", speedup);

@@ -47,6 +47,8 @@ struct SweepPoint {
   double speedup = 0.0;  ///< vs the ideal single-core baseline
   /// Interconnect topology the run used ("ideal" unless a NoC was swept).
   std::string topology = "ideal";
+  /// Tile placement the run used ("default" unless one was installed).
+  std::string placement = "default";
   /// Telemetry snapshot of this point's run; null unless the sweep was
   /// asked to collect metrics.
   std::shared_ptr<const telemetry::Snapshot> metrics;
@@ -76,6 +78,7 @@ Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
 struct RunReport {
   RunResult result;
   std::string topology = "ideal";  ///< see topology_label()
+  std::string placement = "default";  ///< see placement_label()
   std::shared_ptr<const telemetry::Snapshot> metrics;  ///< null unless collected
   std::shared_ptr<const telemetry::Timeline> timeline;  ///< null unless sampled
 };
@@ -83,6 +86,11 @@ struct RunReport {
 /// The BENCH-record topology label of a run: the manager-side NoC kind when
 /// one is configured, else the host-side (RuntimeConfig) kind, else "ideal".
 std::string topology_label(const ManagerSpec& spec, const RuntimeConfig& base);
+
+/// The BENCH-record placement label of a run (NocConfig::placement_name,
+/// combined across the manager and host NoCs like topology_label). Rows
+/// with different tile layouts must not collide in the perfdiff join.
+std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base);
 
 /// One measurement with full result + telemetry (fresh manager and registry
 /// per call; the ideal manager runs through the DES so runtime metrics
@@ -113,15 +121,17 @@ telemetry::TimelineConfig bench_timeline_config();
 /// the flat snapshot object ({} when `metrics` is null). A non-null
 /// `timeline` appends a "timeline" object (see append_timeline for its
 /// schema). A `topology` other than "ideal" appends the optional
-/// "topology" field (absent means ideal, so older records stay joinable).
-/// The "schema" field versions the record format for nexus-perfdiff; bump
-/// it on breaking changes.
+/// "topology" field, and a `placement` other than "default" the optional
+/// "placement" field (absent means ideal/default, so older records stay
+/// joinable). The "schema" field versions the record format for
+/// nexus-perfdiff; bump it on breaking changes.
 std::string metrics_report_json(std::string_view bench, std::string_view workload,
                                 std::string_view manager, std::uint32_t cores,
                                 Tick makespan, double speedup,
                                 const telemetry::Snapshot* metrics,
                                 const telemetry::Timeline* timeline = nullptr,
-                                std::string_view topology = "ideal");
+                                std::string_view topology = "ideal",
+                                std::string_view placement = "default");
 
 /// Accumulates metrics_report_json records into one BENCH_*.json array
 /// document — the shared bookkeeping of every bench binary's --json mode.

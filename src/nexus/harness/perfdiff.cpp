@@ -55,6 +55,10 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
   // Optional since the NoC layer; records without it are ideal-topology.
   out->topology =
       (field = v.find("topology")) != nullptr ? field->str_or("ideal") : "ideal";
+  // Optional since the placement layer; absent means the identity layout.
+  out->placement = (field = v.find("placement")) != nullptr
+                       ? field->str_or("default")
+                       : "default";
   out->cores = (field = v.find("cores")) != nullptr ? field->int_or(0) : 0;
   field = v.find("makespan");
   if (field == nullptr || !field->is_number()) {
@@ -85,7 +89,10 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
 }  // namespace
 
 std::string BenchRecord::key() const {
-  return bench + "|" + workload + "|" + manager + "|" + topology + "|" +
+  // "default" placements are omitted so keys (and report lines) match the
+  // pre-placement format for every pre-existing record.
+  return bench + "|" + workload + "|" + manager + "|" + topology +
+         (placement == "default" ? "" : "|" + placement) + "|" +
          std::to_string(cores);
 }
 
@@ -158,8 +165,12 @@ PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
   for (const auto& cand : candidate) {
     const auto it = base_by_key.find(cand.key());
     if (it == base_by_key.end()) {
+      // First run of this configuration (a fresh topology/placement row,
+      // say): recorded as a new baseline, never as a failure.
       ++res.added;
-      line(fmt("  [new]     %s: no baseline record", cand.key().c_str()));
+      line(fmt("  [new]     %s: first record for this configuration "
+               "(no baseline yet — not a regression)",
+               cand.key().c_str()));
       continue;
     }
     const BenchRecord& base = *it->second;

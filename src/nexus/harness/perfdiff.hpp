@@ -2,8 +2,9 @@
 // nexus-perfdiff tool and its tests.
 //
 // Two record sets are joined on (bench, workload, manager, topology,
-// cores) — topology is optional in the record, absent means ideal. For each
-// pair the comparator checks the makespan against a relative tolerance and a
+// placement, cores) — topology and placement are optional in the record,
+// absent means ideal/default. For each pair the comparator checks the
+// makespan against a relative tolerance and a
 // set of watched per-task rates (conflicts, retries, parks, table stalls by
 // default) against their own tolerance, producing a human-readable report
 // and a regression verdict — so CI can gate on the bench trajectory instead
@@ -38,6 +39,8 @@ struct BenchRecord {
   /// Interconnect topology; the record field is optional and absent means
   /// "ideal", so pre-NoC baselines still join against ideal candidates.
   std::string topology = "ideal";
+  /// Tile placement; optional, absent means the "default" identity layout.
+  std::string placement = "default";
   std::int64_t cores = 0;
   std::int64_t makespan = 0;  ///< picoseconds
   double speedup = 0.0;

@@ -43,8 +43,11 @@ Tick NexusPP::submit(Simulation& sim, const TaskDescriptor& task) {
       sim.now(), cycles(cfg_.header_cycles +
                         cfg_.recv_per_param *
                             static_cast<std::int64_t>(task.num_params())));
+  // The submission crosses the NoC with its whole parameter list as
+  // payload: large-argument tasks occupy the link for more flits.
   net_->send(sim, recv_done, npp_io_node(), npp_manager_node(), self_,
-             kInsertArrived, task.id);
+             kInsertArrived, task.id, 0,
+             noc::kParamBytes * static_cast<std::uint32_t>(task.num_params()));
   return recv_done;
 }
 
@@ -209,10 +212,11 @@ void NexusPP::deliver_ready(Simulation& sim, Tick not_before, TaskId id) {
     sim.schedule(done, self_, kReadyDelivered, id);
     return;
   }
-  // The output FIFO crossing becomes a manager-tile -> IO-tile traversal;
-  // the WB stage serializes records in their arrival order (kWbArrived).
+  // The output FIFO crossing becomes a manager-tile -> IO-tile traversal
+  // (ready id + function pointer, one parameter-sized payload); the WB
+  // stage serializes records in their arrival order (kWbArrived).
   net_->send(sim, not_before, npp_manager_node(), npp_io_node(), self_,
-             kWbArrived, id);
+             kWbArrived, id, 0, noc::kParamBytes);
 }
 
 NexusPP::Stats NexusPP::stats() const {

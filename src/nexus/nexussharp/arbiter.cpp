@@ -43,19 +43,34 @@ void SharpArbiter::bind_telemetry(telemetry::MetricRegistry& reg,
   m_grants_dep_ = &reg.counter(telemetry::path_join(prefix, "grants_dep"));
   m_conflicts_ = &reg.counter(telemetry::path_join(prefix, "conflicts"));
   m_retries_ = &reg.counter(telemetry::path_join(prefix, "retries"));
+  m_meta_parks_ = &reg.counter(telemetry::path_join(prefix, "meta_parks"));
   m_ready_depth_ = &reg.histogram(telemetry::path_join(prefix, "ready_q_depth"));
   m_wait_depth_ = &reg.histogram(telemetry::path_join(prefix, "wait_q_depth"));
 }
 
 void SharpArbiter::handle(Simulation& sim, const Event& ev) {
   switch (ev.op) {
-    case kReady:
-      ready_q_.push_back(static_cast<TaskId>(ev.a));
-      // A single-param ready record supersedes any gathering state.
-      sim_tasks_.erase(static_cast<TaskId>(ev.a));
-      telemetry::record(m_ready_depth_, ready_q_.size());
+    case kReady: {
+      const auto id = static_cast<TaskId>(ev.a);
+      SimTask& st = sim_tasks_[id];
+      if (st.meta_arrived) {
+        // A single-param ready record supersedes any gathering state.
+        ready_q_.push_back(id);
+        sim_tasks_.erase(id);
+        telemetry::record(m_ready_depth_, ready_q_.size());
+      } else {
+        // The ready record overtook its descriptor on the interconnect:
+        // park it — forwarding now would let the host dispatch a task whose
+        // Task Pool entry the write-back path cannot yet resolve.
+        st.ready_parked = true;
+        ++meta_parks_;
+        telemetry::inc(m_meta_parks_);
+        peak_sim_tasks_ =
+            std::max<std::uint64_t>(peak_sim_tasks_, sim_tasks_.size());
+      }
       pump(sim);
       break;
+    }
     case kWait:
       wait_q_.push_back(static_cast<TaskId>(ev.a));
       telemetry::record(m_wait_depth_, wait_q_.size());
@@ -69,13 +84,20 @@ void SharpArbiter::handle(Simulation& sim, const Event& ev) {
     case kMeta: {
       const auto id = static_cast<TaskId>(ev.a & 0xFFFFFFFF);
       const auto nparams = static_cast<std::uint32_t>(ev.a >> 32);
-      // Single-param immediately-ready tasks bypass gathering entirely; the
-      // kReady record erased/elides their entry. Only track multi-record
-      // tasks still needing a conclusion.
       SimTask& st = sim_tasks_[id];
       st.nparams = nparams;
+      st.meta_arrived = true;
       peak_sim_tasks_ = std::max<std::uint64_t>(peak_sim_tasks_, sim_tasks_.size());
-      conclude_if_complete(sim, id, st, sim.now());
+      if (st.ready_parked) {
+        // Release the ready record that overtook this descriptor: the task
+        // bypasses gathering (single-param short-circuit) now that the
+        // write-back path can resolve it.
+        ready_q_.push_back(id);
+        sim_tasks_.erase(id);
+        telemetry::record(m_ready_depth_, ready_q_.size());
+      } else {
+        conclude_if_complete(sim, id, st, sim.now());
+      }
       pump(sim);
       break;
     }
@@ -201,7 +223,7 @@ void SharpArbiter::pump(Simulation& sim) {
 
 void SharpArbiter::conclude_if_complete(Simulation& sim, TaskId id, SimTask& st,
                                         Tick at) {
-  if (st.nparams == 0 || st.seen < st.nparams) return;  // still gathering
+  if (!st.meta_arrived || st.seen < st.nparams) return;  // still gathering
   NEXUS_ASSERT_MSG(st.seen == st.nparams, "gathered more records than params");
   NEXUS_ASSERT_MSG(st.pending_dec <= st.total, "kick without a queued param");
   const std::uint32_t remaining = st.total - st.pending_dec;
@@ -225,9 +247,10 @@ void SharpArbiter::to_writeback(Simulation& sim, Tick from, TaskId id) {
     sim.schedule(done, self_, kWbDone, id);
   } else {
     // On a real topology the ready record crosses the interconnect from
-    // the arbiter tile back to the Nexus IO tile.
+    // the arbiter tile back to the Nexus IO tile: ready id + function
+    // pointer, one parameter-sized payload.
     net_->send(sim, done, sharp_arbiter_node(cfg_.num_task_graphs),
-               sharp_io_node(), self_, kWbDone, id);
+               sharp_io_node(), self_, kWbDone, id, 0, noc::kParamBytes);
   }
 }
 

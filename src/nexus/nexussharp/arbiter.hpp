@@ -5,7 +5,11 @@
 // a task's parameters are still in flight across graphs its partial count
 // lives in the Sim(-ultaneous) Tasks buffer; concluded nonzero counts park
 // in the global Dep Counts Table; ready tasks flow through the Internal
-// Ready Tasks buffer to the Write-Back unit.
+// Ready Tasks buffer to the Write-Back unit. The gather logic tolerates
+// arbitrary record reordering across the interconnect: a kReady that beats
+// its task's kMeta descriptor parks in the Sim Tasks buffer until the
+// descriptor lands (the price of routing kMeta over a real NoC instead of
+// a zero-cost side-band).
 //
 // The arbiter serves one record per grant with the paper's priority
 // (Ready > Waiting > DepCounts), which keeps the forwarding path short and
@@ -43,7 +47,10 @@ class SharpArbiter final : public Component {
     kReady = 0,  ///< a = task: single-param immediately-ready record
     kWait = 1,   ///< a = task: one kicked waiter (one dependence satisfied)
     kDep = 2,    ///< a = task | contributes<<32, b = source task graph
-    kMeta = 3,   ///< a = task | nparams<<32: Task Pool descriptor committed
+    kMeta = 3,   ///< a = task | nparams<<32: Task Pool descriptor committed.
+                 ///  May arrive after the task's kReady when the descriptor
+                 ///  crosses a non-ideal NoC; the ready record then parks in
+                 ///  the Sim Tasks buffer until the descriptor lands.
     kWbDone = 4, ///< a = task: write-back completed -> host
     kPump = 5,
   };
@@ -65,13 +72,17 @@ class SharpArbiter final : public Component {
   [[nodiscard]] std::uint64_t peak_sim_tasks() const { return peak_sim_tasks_; }
   /// Tasks still gathering records; must be 0 once a run drains.
   [[nodiscard]] std::size_t sim_tasks_live() const { return sim_tasks_.size(); }
+  /// Ready records that arrived before their descriptor and had to park.
+  [[nodiscard]] std::uint64_t meta_parks() const { return meta_parks_; }
 
  private:
   struct SimTask {
-    std::uint32_t nparams = 0;      ///< 0 until the kMeta record arrives
+    std::uint32_t nparams = 0;      ///< valid once meta_arrived
     std::uint32_t seen = 0;         ///< dep-count records gathered
     std::uint32_t total = 0;        ///< blocked-parameter tally
     std::uint32_t pending_dec = 0;  ///< kicks that raced ahead of gathering
+    bool meta_arrived = false;      ///< kMeta descriptor landed
+    bool ready_parked = false;      ///< kReady overtook kMeta; release on meta
   };
 
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
@@ -105,12 +116,14 @@ class SharpArbiter final : public Component {
   std::uint64_t delivered_ = 0;
   Tick busy_ = 0;
   std::uint64_t peak_sim_tasks_ = 0;
+  std::uint64_t meta_parks_ = 0;
 
   telemetry::Counter* m_grants_ready_ = nullptr;  ///< Ready Tasks grants
   telemetry::Counter* m_grants_wait_ = nullptr;   ///< Waiting Tasks grants
   telemetry::Counter* m_grants_dep_ = nullptr;    ///< Dep Counts gather grants
   telemetry::Counter* m_conflicts_ = nullptr;  ///< grants with >1 class pending
   telemetry::Counter* m_retries_ = nullptr;    ///< pumps deferred on busy port
+  telemetry::Counter* m_meta_parks_ = nullptr;  ///< readies that beat their meta
   telemetry::Histogram* m_ready_depth_ = nullptr;  ///< Ready Tasks buffer depth
   telemetry::Histogram* m_wait_depth_ = nullptr;   ///< Waiting Tasks depth
 };

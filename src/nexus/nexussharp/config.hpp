@@ -19,11 +19,14 @@ struct NexusSharpConfig {
   hw::DistributionPolicy distribution = hw::DistributionPolicy::kXorFold;
 
   /// On-manager interconnect carrying the distributed traffic: Input Parser
-  /// -> New/Finished Args, task graphs -> arbiter records, arbiter -> IO
-  /// write-backs. Node placement: IO/Input Parser at node 0, task graph i at
-  /// node 1+i, the Dependence Counts Arbiter at node 1+num_task_graphs. The
-  /// default (ideal crossbar at `fifo_latency`) is bit-identical to the
-  /// pre-NoC model; ring/mesh add per-hop distance and per-link contention.
+  /// -> New/Finished Args, IO -> arbiter kMeta descriptors (non-ideal only;
+  /// the ideal crossbar keeps the legacy zero-cost side-band), task graphs
+  /// -> arbiter records, arbiter -> IO write-backs. Logical endpoints:
+  /// IO/Input Parser at node 0, task graph i at node 1+i, the Dependence
+  /// Counts Arbiter at node 1+num_task_graphs; `noc.placement` remaps them
+  /// onto fabric tiles. The default (ideal crossbar at `fifo_latency`) is
+  /// bit-identical to the pre-NoC model; ring/mesh/torus add per-hop
+  /// distance and payload-proportional (multi-flit) per-link contention.
   noc::NocConfig noc{};
 
   // --- submission pipeline (Fig. 4) ---

@@ -91,17 +91,29 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
     if (!m_route_.empty()) m_route_[tgt]->inc();
     net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
                tgs_[tgt]->component_id(), detail::TaskGraphUnit::kNewArg,
-               detail::TaskGraphUnit::pack(arg), p.addr);
+               detail::TaskGraphUnit::pack(arg), p.addr, noc::kParamBytes);
   }
 
   // IPf: descriptor committed to the Task Pool one cycle after the last
   // parameter; the arbiter can conclude the task's gather from then on.
-  // This is a side-band pool-commit notification, not routed traffic: the
-  // arbiter's gather logic relies on seeing it before any ready record of
-  // the task, so it stays a direct (un-networked) signal on every topology.
-  sim.schedule(recv_done, arbiter_->component_id(), detail::SharpArbiter::kMeta,
-               static_cast<std::uint64_t>(task.id) |
-                   (static_cast<std::uint64_t>(task.num_params()) << 32));
+  const std::uint64_t meta =
+      static_cast<std::uint64_t>(task.id) |
+      (static_cast<std::uint64_t>(task.num_params()) << 32);
+  if (net_->ideal()) {
+    // Legacy behaviour: a direct pool-commit side-band, kept exactly so the
+    // default config stays bit-identical to the pre-NoC model.
+    sim.schedule(recv_done, arbiter_->component_id(),
+                 detail::SharpArbiter::kMeta, meta);
+  } else {
+    // On a real topology the descriptor is routed traffic like everything
+    // else: a parameter-list-sized message from the IO tile to the arbiter
+    // tile. It may now arrive after the task's ready record; the arbiter
+    // parks that record until the descriptor lands (meta_parks metric).
+    net_->send(sim, recv_done, sharp_io_node(),
+               sharp_arbiter_node(cfg_.num_task_graphs),
+               arbiter_->component_id(), detail::SharpArbiter::kMeta, meta, 0,
+               noc::kParamBytes * static_cast<std::uint32_t>(task.num_params()));
+  }
   return recv_done;
 }
 
@@ -134,7 +146,7 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
     if (!m_route_.empty()) m_route_[tgt]->inc();
     net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
                tgs_[tgt]->component_id(), detail::TaskGraphUnit::kFinishedArg,
-               detail::TaskGraphUnit::pack(arg), p.addr);
+               detail::TaskGraphUnit::pack(arg), p.addr, noc::kParamBytes);
   }
   // The pool slot is reclaimable once the I/O list has been read out.
   sim.schedule(dist_done, self_, kFinishDistributed, id);

@@ -15,9 +15,22 @@ Network::Network(const NocConfig& cfg, std::uint32_t endpoints,
       ideal_latency_(ideal_latency),
       link_free_(topo_.link_count(), 0),
       link_flits_(topo_.link_count(), 0),
-      link_busy_(topo_.link_count(), 0) {
+      link_busy_(topo_.link_count(), 0),
+      traffic_(static_cast<std::size_t>(endpoints) * endpoints, 0) {
   NEXUS_ASSERT_MSG(cfg.hop_cycles >= 0 && cfg.link_cycles >= 1,
                    "noc needs hop_cycles >= 0 and link_cycles >= 1");
+  NEXUS_ASSERT_MSG(cfg.flit_bytes >= 1, "noc needs flit_bytes >= 1");
+  if (!cfg_.placement.empty()) {
+    NEXUS_ASSERT_MSG(cfg_.placement.size() == endpoints,
+                     "placement must assign every endpoint a tile");
+    std::vector<bool> used(topo_.node_count(), false);
+    for (const std::uint32_t tile : cfg_.placement) {
+      NEXUS_ASSERT_MSG(tile < topo_.node_count(),
+                       "placement tile outside the router grid");
+      NEXUS_ASSERT_MSG(!used[tile], "placement maps two endpoints to a tile");
+      used[tile] = true;
+    }
+  }
 }
 
 void Network::attach(Simulation& sim) { self_ = sim.add_component(this); }
@@ -26,6 +39,9 @@ void Network::bind_telemetry(telemetry::MetricRegistry& reg,
                              std::string_view prefix) {
   m_messages_ = &reg.counter(telemetry::path_join(prefix, "messages"));
   m_delivered_ = &reg.counter(telemetry::path_join(prefix, "delivered"));
+  m_flits_ = &reg.counter(telemetry::path_join(prefix, "flits"));
+  m_delivered_flits_ =
+      &reg.counter(telemetry::path_join(prefix, "delivered_flits"));
   m_blocked_ = &reg.counter(telemetry::path_join(prefix, "blocked_flits"));
   m_stall_ticks_ = &reg.counter(telemetry::path_join(prefix, "stall_ps"));
   m_hops_ = &reg.histogram(telemetry::path_join(prefix, "hops"));
@@ -42,20 +58,28 @@ void Network::bind_telemetry(telemetry::MetricRegistry& reg,
 
 void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
                    std::uint32_t comp, std::uint32_t op, std::uint64_t a,
-                   std::uint64_t b) {
+                   std::uint64_t b, std::uint32_t payload_bytes) {
   NEXUS_DCHECK(depart >= sim.now());
-  NEXUS_DCHECK(src < topo_.node_count() && dst < topo_.node_count());
+  NEXUS_DCHECK(src < topo_.endpoints() && dst < topo_.endpoints());
+  const std::uint32_t flits = flits_for(payload_bytes);
   ++messages_;
+  injected_flits_ += flits;
+  traffic_[static_cast<std::size_t>(src) * topo_.endpoints() + dst] += flits;
   telemetry::inc(m_messages_);
+  telemetry::inc(m_flits_, flits);
   if (cfg_.ideal() || src == dst) {
     // Direct delivery: scheduling here — from the same call site, with the
     // same timestamp arithmetic as the legacy fixed-latency FIFOs — keeps
-    // event issue order (and therefore tie-breaking) bit-identical.
+    // event issue order (and therefore tie-breaking) bit-identical. The
+    // crossbar has no links, so the flit train occupies nothing: payload
+    // size is accounted (flit counters) but never charged.
     const std::uint32_t h = src == dst ? 0 : 1;
     total_hops_ += h;
     ++delivered_;
+    delivered_flits_ += flits;
     telemetry::record(m_hops_, h);
     telemetry::inc(m_delivered_);
+    telemetry::inc(m_delivered_flits_, flits);
     sim.schedule(depart + (src == dst ? 0 : ideal_latency_), comp, op, a, b);
     return;
   }
@@ -70,12 +94,13 @@ void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
     msgs_.emplace_back();
   }
   Msg& m = msgs_[slot];
-  m.at = src;
-  m.dst = dst;
+  m.at = tile_of(src);
+  m.dst = tile_of(dst);
   m.comp = comp;
   m.op = op;
   m.a = a;
   m.b = b;
+  m.flits = flits;
   ++in_flight_;
   max_in_flight_ = std::max(max_in_flight_, in_flight_);
   telemetry::record(m_in_flight_, in_flight_);
@@ -100,7 +125,9 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
     // same-time event keeps delivery in deterministic issue order).
     ++delivered_;
     total_hops_ += m.hops;
+    delivered_flits_ += m.flits;
     telemetry::inc(m_delivered_);
+    telemetry::inc(m_delivered_flits_, m.flits);
     telemetry::record(m_hops_, m.hops);
     sim.schedule(now, m.comp, m.op, m.a, m.b);
     NEXUS_DCHECK(in_flight_ > 0);
@@ -110,9 +137,12 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
   }
 
   // One flit per link per `link_cycles`: wait for the output link, occupy
-  // it, and emerge at the next router after the hop latency. Later flits
-  // queue behind earlier ones (FIFO in deterministic event order), which is
-  // exactly the serialization/backpressure an overloaded link produces.
+  // it for the whole flit train, and emerge at the next router once the
+  // tail has crossed (hop latency + the train's serialization beyond the
+  // head flit). Later messages queue behind earlier ones (FIFO in
+  // deterministic event order), which is exactly the serialization and
+  // backpressure an overloaded link produces — and a large-payload message
+  // now really owns each link `flits` times longer than a bare record.
   const LinkId l = topo_.next_link(m.at, m.dst);
   const Tick start = std::max(now, link_free_[l]);
   if (start > now) {
@@ -121,17 +151,19 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
     telemetry::inc(m_blocked_);
     telemetry::inc(m_stall_ticks_, static_cast<std::uint64_t>(start - now));
   }
-  const Tick ser = cycles(cfg_.link_cycles);
+  const Tick ser = cycles(cfg_.link_cycles * m.flits);
   link_free_[l] = start + ser;
   link_busy_[l] += ser;
-  ++link_flits_[l];
+  link_flits_[l] += m.flits;
   if (!m_link_flits_.empty()) {
-    m_link_flits_[l]->inc();
+    m_link_flits_[l]->inc(m.flits);
     m_link_busy_[l]->inc(static_cast<std::uint64_t>(ser));
   }
   ++m.hops;
   m.at = topo_.link_dst(l);
-  sim.schedule(start + cycles(cfg_.hop_cycles), self_, kHop, slot);
+  sim.schedule(start + cycles(cfg_.hop_cycles + cfg_.link_cycles *
+                                                    (m.flits - 1)),
+               self_, kHop, slot);
 }
 
 Network::Stats Network::stats() const {
@@ -139,11 +171,14 @@ Network::Stats Network::stats() const {
   s.messages = messages_;
   s.delivered = delivered_;
   s.total_hops = total_hops_;
+  s.injected_flits = injected_flits_;
+  s.delivered_flits = delivered_flits_;
   s.blocked_flits = blocked_flits_;
   s.stall_ticks = stall_ticks_;
   s.max_in_flight = max_in_flight_;
   s.link_flits = link_flits_;
   s.link_busy = link_busy_;
+  s.traffic = traffic_;
   return s;
 }
 

@@ -1,16 +1,22 @@
 // The interconnect simulation component: typed messages over a Topology.
 //
-// A Network carries (component, op, a, b) payloads between nodes. Under the
-// ideal topology every send is delivered directly after the uniform latency
-// — no intermediate events, so wiring a Network into a block is provably
-// perturbation-free (the legacy fixed-latency FIFO behaviour, bit-identical,
-// is a tested contract). Under ring/mesh each message hops link by link:
-// a link accepts one flit every `link_cycles` (serialization => real
-// contention and queuing; a saturated link backs later flits up behind it),
-// and each hop adds `hop_cycles` of router+wire latency. Per-link
-// utilization, hop histograms, in-flight depth and contention stalls are
+// A Network carries (component, op, a, b) payloads between logical
+// endpoints; a placement (NocConfig::placement) maps each endpoint to its
+// router tile, so the same traffic can be laid out differently on the same
+// fabric. Under the ideal topology every send is delivered directly after
+// the uniform latency — no intermediate events, so wiring a Network into a
+// block is provably perturbation-free (the legacy fixed-latency FIFO
+// behaviour, bit-identical, is a tested contract). Under ring/mesh/torus
+// each message hops link by link as a worm of `1 + ceil(payload_bytes /
+// flit_bytes)` flits: a link accepts one flit every `link_cycles`
+// (serialization => real contention and queuing; a saturated link backs
+// later flits up behind it, and a long message occupies each link for its
+// whole flit train), and each hop adds `hop_cycles` of router+wire latency
+// before the tail clears the next router. Per-link utilization, hop
+// histograms, flit counts, in-flight depth and contention stalls are
 // exported through the telemetry registry and are timeline-samplable like
-// every other component's metrics.
+// every other component's metrics; a per-endpoint-pair traffic matrix feeds
+// the placement search (noc/placement.hpp).
 #pragma once
 
 #include <cstdint>
@@ -40,13 +46,28 @@ class Network final : public Component {
   [[nodiscard]] bool ideal() const { return cfg_.ideal(); }
   [[nodiscard]] const NocConfig& config() const { return cfg_; }
 
-  /// Deliver (comp, op, a, b) after traversing src -> dst, departing at
-  /// `depart` (>= sim.now()). Ideal: one event at depart + ideal_latency
-  /// (depart exactly, when src == dst). Ring/mesh: the message hops through
-  /// the network with per-link serialization and per-hop latency.
+  /// Router tile hosting logical endpoint `e` (identity without a
+  /// configured placement).
+  [[nodiscard]] NodeId tile_of(NodeId e) const {
+    return cfg_.placement.empty() ? e : cfg_.placement[e];
+  }
+
+  /// Flits of a message with `payload_bytes` of payload: one header flit
+  /// plus ceil(payload_bytes / flit_bytes).
+  [[nodiscard]] std::uint32_t flits_for(std::uint32_t payload_bytes) const {
+    return 1 + (payload_bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+  }
+
+  /// Deliver (comp, op, a, b) after traversing endpoint src -> dst,
+  /// departing at `depart` (>= sim.now()). Ideal: one event at depart +
+  /// ideal_latency (depart exactly, when src == dst). Ring/mesh/torus: the
+  /// message hops tile to tile with per-link serialization — every link on
+  /// the route is occupied for the message's whole flit train, so
+  /// `payload_bytes` (a parameter list, a descriptor) directly stretches
+  /// link occupancy and queuing behind it.
   void send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
             std::uint32_t comp, std::uint32_t op, std::uint64_t a = 0,
-            std::uint64_t b = 0);
+            std::uint64_t b = 0, std::uint32_t payload_bytes = 0);
 
   // Component
   void handle(Simulation& sim, const Event& ev) override;
@@ -62,11 +83,17 @@ class Network final : public Component {
     std::uint64_t messages = 0;   ///< send() calls
     std::uint64_t delivered = 0;  ///< messages that reached their endpoint
     std::uint64_t total_hops = 0;
+    std::uint64_t injected_flits = 0;   ///< summed per-message flit counts
+    std::uint64_t delivered_flits = 0;  ///< flits of delivered messages
     std::uint64_t blocked_flits = 0;  ///< hop acquisitions that had to wait
     Tick stall_ticks = 0;             ///< summed link-wait time
     std::uint64_t max_in_flight = 0;
     std::vector<std::uint64_t> link_flits;  ///< per link
     std::vector<Tick> link_busy;            ///< per link, serialization time
+    /// Flit-weighted traffic between logical endpoints, row-major
+    /// endpoints() x endpoints() — the measured input of the placement
+    /// search (placement-independent: recorded before the tile mapping).
+    std::vector<std::uint64_t> traffic;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -83,6 +110,7 @@ class Network final : public Component {
     std::uint64_t a = 0;
     std::uint64_t b = 0;
     std::uint32_t hops = 0;
+    std::uint32_t flits = 1;
   };
 
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
@@ -103,14 +131,19 @@ class Network final : public Component {
   std::uint64_t messages_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t total_hops_ = 0;
+  std::uint64_t injected_flits_ = 0;
+  std::uint64_t delivered_flits_ = 0;
   std::uint64_t blocked_flits_ = 0;
   Tick stall_ticks_ = 0;
   std::uint64_t max_in_flight_ = 0;
   std::vector<std::uint64_t> link_flits_;
   std::vector<Tick> link_busy_;
+  std::vector<std::uint64_t> traffic_;  ///< endpoints x endpoints, flits
 
   telemetry::Counter* m_messages_ = nullptr;
   telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_flits_ = nullptr;           ///< injected flits
+  telemetry::Counter* m_delivered_flits_ = nullptr;
   telemetry::Counter* m_blocked_ = nullptr;
   telemetry::Counter* m_stall_ticks_ = nullptr;     ///< picoseconds
   telemetry::Histogram* m_hops_ = nullptr;          ///< per delivered message

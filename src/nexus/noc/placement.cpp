@@ -1,0 +1,177 @@
+#include "nexus/noc/placement.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "nexus/common/rng.hpp"
+
+namespace nexus::noc {
+
+TrafficMatrix TrafficMatrix::from_network(std::uint32_t endpoint_count,
+                                          std::vector<std::uint64_t> measured) {
+  TrafficMatrix m(endpoint_count);
+  NEXUS_ASSERT_MSG(measured.size() == m.flits.size(),
+                   "traffic vector does not match the endpoint count");
+  m.flits = std::move(measured);
+  return m;
+}
+
+std::uint64_t placement_cost(const Topology& topo,
+                             const std::vector<std::uint32_t>& assignment,
+                             const TrafficMatrix& traffic) {
+  NEXUS_ASSERT_MSG(assignment.size() == traffic.endpoints &&
+                       traffic.endpoints <= topo.node_count(),
+                   "assignment/traffic/topology sizes disagree");
+  std::uint64_t cost = 0;
+  for (NodeId s = 0; s < traffic.endpoints; ++s) {
+    for (NodeId d = 0; d < traffic.endpoints; ++d) {
+      const std::uint64_t f = traffic.at(s, d);
+      if (f == 0) continue;
+      cost += f * topo.hops(assignment[s], assignment[d]);
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+/// Apply "endpoint e moves to tile t" to (assignment, tile_owner): if t is
+/// occupied the two endpoints swap tiles, otherwise e moves onto the free
+/// (filler) tile. Self-inverse: a second call with e's previous tile
+/// restores both structures exactly, so candidates can be evaluated with an
+/// apply/undo pair instead of cloning the state.
+void apply_move(std::vector<std::uint32_t>* assignment,
+                std::vector<std::int32_t>* tile_owner, NodeId e,
+                std::uint32_t t) {
+  const std::uint32_t from = (*assignment)[e];
+  const std::int32_t other = (*tile_owner)[t];
+  if (other >= 0) {
+    (*assignment)[static_cast<std::size_t>(other)] = from;
+    (*tile_owner)[from] = other;
+  } else {
+    (*tile_owner)[from] = -1;
+  }
+  (*assignment)[e] = t;
+  (*tile_owner)[t] = static_cast<std::int32_t>(e);
+}
+
+/// Cost terms involving endpoint e (both traffic directions), excluding
+/// pairs with `skip` so two contributions can be summed without double
+/// counting. A move only changes the terms of the endpoints it touches, so
+/// candidate costs are O(endpoints) deltas off the current cost instead of
+/// full O(endpoints^2) recomputations.
+std::uint64_t endpoint_contrib(const Topology& topo,
+                               const std::vector<std::uint32_t>& assignment,
+                               const TrafficMatrix& traffic, NodeId e,
+                               NodeId skip) {
+  std::uint64_t sum = 0;
+  for (NodeId d = 0; d < traffic.endpoints; ++d) {
+    if (d == e || d == skip) continue;
+    const std::uint32_t h_out = topo.hops(assignment[e], assignment[d]);
+    const std::uint32_t h_in = topo.hops(assignment[d], assignment[e]);
+    sum += traffic.at(e, d) * h_out + traffic.at(d, e) * h_in;
+  }
+  return sum;
+}
+
+/// Cost of the current assignment after moving e to t, via apply /
+/// delta-measure / undo. Exact integer arithmetic: bit-identical to a full
+/// placement_cost recomputation.
+std::uint64_t moved_cost(const Topology& topo,
+                         std::vector<std::uint32_t>* assignment,
+                         std::vector<std::int32_t>* tile_owner,
+                         const TrafficMatrix& traffic, std::uint64_t cur_cost,
+                         NodeId e, std::uint32_t t) {
+  const std::uint32_t from = (*assignment)[e];
+  const std::int32_t other = (*tile_owner)[t];
+  const auto f = other >= 0 ? static_cast<NodeId>(other) : e;
+  std::uint64_t before = endpoint_contrib(topo, *assignment, traffic, e, e);
+  if (f != e) before += endpoint_contrib(topo, *assignment, traffic, f, e);
+  apply_move(assignment, tile_owner, e, t);
+  std::uint64_t after = endpoint_contrib(topo, *assignment, traffic, e, e);
+  if (f != e) after += endpoint_contrib(topo, *assignment, traffic, f, e);
+  apply_move(assignment, tile_owner, e, from);  // undo
+  return cur_cost - before + after;
+}
+
+}  // namespace
+
+PlacementResult optimize_placement(const Topology& topo,
+                                   const TrafficMatrix& traffic,
+                                   const PlacementOptions& opts) {
+  const std::uint32_t endpoints = traffic.endpoints;
+  PlacementResult res;
+  res.assignment.resize(endpoints);
+  for (NodeId e = 0; e < endpoints; ++e) res.assignment[e] = e;
+  res.initial_cost = placement_cost(topo, res.assignment, traffic);
+  res.cost = res.initial_cost;
+  if (topo.kind() == TopologyKind::kIdeal) return res;  // every layout ties
+
+  std::vector<std::int32_t> tile_owner(topo.node_count(), -1);
+  for (NodeId e = 0; e < endpoints; ++e)
+    tile_owner[e] = static_cast<std::int32_t>(e);
+
+  // Phase 1 — steepest descent: apply the best strictly-improving
+  // move/swap until none exists. Candidate order (endpoint-major, tile
+  // ascending) and the strict `<` make every tie-break deterministic.
+  for (;;) {
+    std::uint64_t best_cost = res.cost;
+    NodeId best_e = 0;
+    std::uint32_t best_t = 0;
+    bool found = false;
+    for (NodeId e = 0; e < endpoints; ++e) {
+      for (std::uint32_t t = 0; t < topo.node_count(); ++t) {
+        if (res.assignment[e] == t) continue;
+        const std::uint64_t c = moved_cost(topo, &res.assignment, &tile_owner,
+                                           traffic, res.cost, e, t);
+        if (c < best_cost) {
+          best_cost = c;
+          best_e = e;
+          best_t = t;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    apply_move(&res.assignment, &tile_owner, best_e, best_t);
+    res.cost = best_cost;
+    ++res.greedy_swaps;
+  }
+
+  // Phase 2 — seeded annealing around the local optimum: random move
+  // proposals, worse ones accepted with probability exp(-delta/T) under
+  // geometric cooling. The engine is the repo's deterministic xoshiro (one
+  // uniform drawn per worsening proposal, none otherwise), so the
+  // refinement reproduces bit-identically for a given seed.
+  if (opts.anneal_iterations > 0) {
+    Xoshiro256 rng(opts.seed);
+    std::vector<std::uint32_t> cur = res.assignment;
+    std::vector<std::int32_t> owner = tile_owner;
+    std::uint64_t cur_cost = res.cost;
+    double temp =
+        opts.initial_temperature_frac * static_cast<double>(res.cost) + 1.0;
+    for (std::uint32_t i = 0; i < opts.anneal_iterations; ++i) {
+      const NodeId e = static_cast<NodeId>(rng.below(endpoints));
+      const std::uint32_t t =
+          static_cast<std::uint32_t>(rng.below(topo.node_count()));
+      temp *= opts.cooling;
+      if (cur[e] == t) continue;
+      const std::uint64_t c =
+          moved_cost(topo, &cur, &owner, traffic, cur_cost, e, t);
+      const bool accept =
+          c <= cur_cost ||
+          rng.uniform() < std::exp(-static_cast<double>(c - cur_cost) / temp);
+      if (!accept) continue;
+      apply_move(&cur, &owner, e, t);
+      cur_cost = c;
+      ++res.anneal_accepts;
+      if (cur_cost < res.cost) {
+        res.cost = cur_cost;
+        res.assignment = cur;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace nexus::noc

@@ -1,5 +1,7 @@
 #include "nexus/noc/topology.hpp"
 
+#include <algorithm>
+
 namespace nexus::noc {
 
 const char* to_string(TopologyKind k) {
@@ -7,6 +9,7 @@ const char* to_string(TopologyKind k) {
     case TopologyKind::kIdeal: return "ideal";
     case TopologyKind::kRing: return "ring";
     case TopologyKind::kMesh: return "mesh";
+    case TopologyKind::kTorus: return "torus";
   }
   return "?";
 }
@@ -18,6 +21,8 @@ bool parse_topology(std::string_view name, TopologyKind* out) {
     *out = TopologyKind::kRing;
   } else if (name == "mesh") {
     *out = TopologyKind::kMesh;
+  } else if (name == "torus") {
+    *out = TopologyKind::kTorus;
   } else {
     return false;
   }
@@ -46,7 +51,8 @@ Topology::Topology(TopologyKind kind, std::uint32_t endpoints,
       }
       break;
     }
-    case TopologyKind::kMesh: {
+    case TopologyKind::kMesh:
+    case TopologyKind::kTorus: {
       cols_ = mesh_cols;
       if (cols_ == 0) {
         while (cols_ * cols_ < endpoints_) ++cols_;
@@ -62,6 +68,20 @@ Topology::Topology(TopologyKind kind, std::uint32_t endpoints,
         if (x > 0) add_link(n, n - 1);
         if (y + 1 < rows_) add_link(n, n + cols_);
         if (y > 0) add_link(n, n - cols_);
+        if (kind_ == TopologyKind::kTorus) {
+          // Wraparound links. Dimensions of size <= 2 already connect their
+          // two nodes both ways through the mesh links (a wrap would
+          // duplicate them), so wraps only exist from size 3 on — the same
+          // rule the 2-node ring applies.
+          if (cols_ >= 3) {
+            if (x == cols_ - 1) add_link(n, n - (cols_ - 1));
+            if (x == 0) add_link(n, n + (cols_ - 1));
+          }
+          if (rows_ >= 3) {
+            if (y == rows_ - 1) add_link(n, n - (rows_ - 1) * cols_);
+            if (y == 0) add_link(n, n + (rows_ - 1) * cols_);
+          }
+        }
       }
       break;
     }
@@ -99,6 +119,14 @@ std::uint32_t Topology::hops(NodeId from, NodeId to) const {
       return static_cast<std::uint32_t>((dx < 0 ? -dx : dx) +
                                         (dy < 0 ? -dy : dy));
     }
+    case TopologyKind::kTorus: {
+      // Each dimension is a ring: the shorter way may wrap around.
+      const std::uint32_t fwd_x = (to % cols_ + cols_ - from % cols_) % cols_;
+      const std::uint32_t fwd_y = (to / cols_ + rows_ - from / cols_) % rows_;
+      const std::uint32_t dx = fwd_x == 0 ? 0 : std::min(fwd_x, cols_ - fwd_x);
+      const std::uint32_t dy = fwd_y == 0 ? 0 : std::min(fwd_y, rows_ - fwd_y);
+      return dx + dy;
+    }
   }
   return 0;
 }
@@ -115,14 +143,30 @@ LinkId Topology::next_link(NodeId from, NodeId to) const {
                                   : (from + nodes_ - 1) % nodes_;
     return link_between(from, next);
   }
-  // Mesh: dimension-ordered XY routing — exhaust the x offset, then y.
+  // Mesh/torus: dimension-ordered XY routing — exhaust the x offset, then
+  // y. The torus additionally picks the shorter way around each dimension's
+  // ring (forward on a tie, deterministic across runs).
   const std::uint32_t fx = from % cols_;
   const std::uint32_t tx = to % cols_;
+  const std::uint32_t fy = from / cols_;
+  const std::uint32_t ty = to / cols_;
   NodeId next = 0;
-  if (fx != tx) {
+  if (kind_ == TopologyKind::kTorus) {
+    if (fx != tx) {
+      const std::uint32_t fwd = (tx + cols_ - fx) % cols_;
+      const std::uint32_t nx = fwd <= cols_ - fwd ? (fx + 1) % cols_
+                                                  : (fx + cols_ - 1) % cols_;
+      next = fy * cols_ + nx;
+    } else {
+      const std::uint32_t fwd = (ty + rows_ - fy) % rows_;
+      const std::uint32_t ny = fwd <= rows_ - fwd ? (fy + 1) % rows_
+                                                  : (fy + rows_ - 1) % rows_;
+      next = ny * cols_ + fx;
+    }
+  } else if (fx != tx) {
     next = fx < tx ? from + 1 : from - 1;
   } else {
-    next = from / cols_ < to / cols_ ? from + cols_ : from - cols_;
+    next = fy < ty ? from + cols_ : from - cols_;
   }
   return link_between(from, next);
 }
@@ -149,6 +193,8 @@ std::string Topology::describe() const {
     case TopologyKind::kRing: return "ring" + std::to_string(nodes_);
     case TopologyKind::kMesh:
       return "mesh" + std::to_string(rows_) + "x" + std::to_string(cols_);
+    case TopologyKind::kTorus:
+      return "torus" + std::to_string(rows_) + "x" + std::to_string(cols_);
   }
   return "?";
 }

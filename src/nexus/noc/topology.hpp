@@ -6,10 +6,11 @@
 // central trade-off of a *distributed* hardware task manager — invisible.
 // This layer provides the geometry half of the interconnect model: a
 // Topology maps endpoint ids to nodes on an ideal crossbar, a bidirectional
-// ring, or a 2D mesh, and computes deterministic hop routes (XY routing on
-// the mesh, shortest-way with a clockwise tie-break on the ring). The
-// Network (network.hpp) carries messages over those routes with per-hop
-// latency and per-link serialization.
+// ring, a 2D mesh, or a 2D torus (the mesh plus wraparound links), and
+// computes deterministic hop routes (XY routing on the mesh, shortest-way
+// XY with wraparound on the torus, shortest-way with a clockwise tie-break
+// on the ring). The Network (network.hpp) carries messages over those
+// routes with per-hop latency and per-link serialization.
 #pragma once
 
 #include <cstdint>
@@ -25,15 +26,22 @@ enum class TopologyKind : std::uint8_t {
   kIdeal = 0,  ///< single-hop crossbar, uniform latency, no contention
   kRing = 1,   ///< bidirectional ring, shortest-way routing
   kMesh = 2,   ///< 2D mesh, dimension-ordered (XY) routing
+  kTorus = 3,  ///< 2D torus: mesh + wraparound, shortest-way XY routing
 };
 
 const char* to_string(TopologyKind k);
 
-/// Parse "ideal" / "ring" / "mesh" (case-sensitive). False on anything else.
+/// Parse "ideal" / "ring" / "mesh" / "torus" (case-sensitive). False on
+/// anything else.
 bool parse_topology(std::string_view name, TopologyKind* out);
 
 using NodeId = std::uint32_t;
 using LinkId = std::uint32_t;
+
+/// Payload bytes one task parameter contributes to a message: a 48-bit
+/// address crosses the interconnect as two 32-bit packets (the same
+/// granularity as the recv_per_param cycle counts).
+inline constexpr std::uint32_t kParamBytes = 8;
 
 /// Interconnect configuration embedded in a block's config (NexusSharpConfig,
 /// NexusPPConfig, RuntimeConfig). The default — ideal topology — reproduces
@@ -41,7 +49,8 @@ using LinkId = std::uint32_t;
 struct NocConfig {
   TopologyKind kind = TopologyKind::kIdeal;
 
-  /// Mesh columns; 0 picks a near-square geometry (ceil(sqrt(endpoints))).
+  /// Mesh/torus columns; 0 picks a near-square geometry
+  /// (ceil(sqrt(endpoints))).
   std::uint32_t mesh_cols = 0;
 
   /// Per-hop router + wire traversal latency, in interconnect clock cycles.
@@ -49,19 +58,36 @@ struct NocConfig {
   /// route costs the same as the ideal crossbar.
   std::int64_t hop_cycles = 3;
 
-  /// Per-link serialization: a link accepts one flit (one message) every
-  /// `link_cycles` cycles. This is where contention and queuing come from.
+  /// Per-link serialization: a link accepts one flit every `link_cycles`
+  /// cycles. This is where contention and queuing come from.
   std::int64_t link_cycles = 1;
+
+  /// Link width: one flit carries this many payload bytes. A message is one
+  /// header flit plus ceil(payload_bytes / flit_bytes) payload flits, so
+  /// large-argument messages occupy every link on their route longer.
+  std::uint32_t flit_bytes = 8;
 
   /// Interconnect clock in MHz; 0 inherits the owning block's clock domain.
   double freq_mhz = 0.0;
+
+  /// Endpoint -> tile assignment (see noc/placement.hpp). Empty means the
+  /// identity layout (endpoint e on router e); otherwise it must be a
+  /// size-`endpoints` injection into the topology's router grid — filler
+  /// routers of a mesh/torus are legal tiles too.
+  std::vector<std::uint32_t> placement;
+
+  /// Report/perfdiff label of the placement ("default" for the identity
+  /// layout); benches installing an optimized assignment set it so the two
+  /// layouts stay distinct rows in the BENCH trajectory.
+  std::string placement_name = "default";
 
   [[nodiscard]] bool ideal() const { return kind == TopologyKind::kIdeal; }
 };
 
 /// Node/link geometry and routing. Endpoints 0..endpoints-1 attach to the
-/// first `endpoints` routers; a mesh may have extra filler routers so the
-/// grid is rectangular (they route traffic but host no endpoint).
+/// first `endpoints` routers by default (the Network applies a placement on
+/// top); a mesh/torus may have extra filler routers so the grid is
+/// rectangular (they route traffic but host no endpoint).
 class Topology {
  public:
   Topology(TopologyKind kind, std::uint32_t endpoints,
@@ -73,7 +99,7 @@ class Topology {
   [[nodiscard]] std::uint32_t link_count() const {
     return static_cast<std::uint32_t>(links_.size());
   }
-  /// Mesh geometry (both 0 for ideal/ring).
+  /// Mesh/torus geometry (both 0 for ideal/ring).
   [[nodiscard]] std::uint32_t rows() const { return rows_; }
   [[nodiscard]] std::uint32_t cols() const { return cols_; }
 
@@ -94,7 +120,7 @@ class Topology {
   /// Telemetry-path-safe link label, e.g. "l4_2to5".
   [[nodiscard]] std::string link_label(LinkId l) const;
 
-  /// Human/report label: "ideal", "ring8", "mesh3x3".
+  /// Human/report label: "ideal", "ring8", "mesh3x3", "torus3x3".
   [[nodiscard]] std::string describe() const;
 
  private:

@@ -208,8 +208,10 @@ void Driver::try_dispatch(Simulation& sim) {
     telemetry::inc(m_dispatches_);
     if (host_net_ != nullptr) {
       // The dispatch record additionally crosses the host NoC from the
-      // manager tile to the claimed core; execution starts on arrival.
-      host_net_->send(sim, start, 0, 1 + w, self_, kDispatchArrived, w, id);
+      // manager tile to the claimed core (task id + function pointer, one
+      // parameter-sized payload); execution starts on arrival.
+      host_net_->send(sim, start, 0, 1 + w, self_, kDispatchArrived, w, id,
+                      noc::kParamBytes);
       continue;
     }
     const Tick end = start + trace_.task(id).duration;

@@ -9,6 +9,7 @@
 
 #include "nexus/common/rng.hpp"
 #include "nexus/nexussharp/nexussharp.hpp"
+#include "nexus/noc/placement.hpp"
 #include "nexus/runtime/simulation_driver.hpp"
 #include "nexus/sim/simulation.hpp"
 #include "nexus/task/trace.hpp"
@@ -271,6 +272,75 @@ TEST(Determinism, NetworkEventOrderingReproduces) {
     EXPECT_EQ(sched_a[i].worker, sched_b[i].worker) << "entry " << i;
     EXPECT_EQ(sched_a[i].start, sched_b[i].start) << "entry " << i;
     EXPECT_EQ(sched_a[i].end, sched_b[i].end) << "entry " << i;
+  }
+}
+
+TEST(Determinism, PlacementSearchReproduces) {
+  // End-to-end reproducibility of the placement pipeline: two identical
+  // mesh runs measure bit-identical traffic matrices, and two searches over
+  // that matrix (same seed) return bit-identical assignments and costs —
+  // the property that makes BENCH_placement.json diffable at all.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(8));
+  auto measure = [&tr]() {
+    NexusSharpConfig cfg;
+    cfg.num_task_graphs = 6;
+    cfg.freq_mhz = 100.0;
+    cfg.noc.kind = noc::TopologyKind::kMesh;
+    NexusSharp mgr(cfg);
+    run_trace(tr, mgr, RuntimeConfig{.workers = 16});
+    return mgr.network().stats().traffic;
+  };
+  const std::vector<std::uint64_t> ta = measure();
+  const std::vector<std::uint64_t> tb = measure();
+  ASSERT_EQ(ta, tb) << "measured traffic matrices diverged";
+
+  const std::uint32_t endpoints = sharp_noc_endpoints(6);
+  const noc::Topology topo(noc::TopologyKind::kMesh, endpoints);
+  const noc::TrafficMatrix m = noc::TrafficMatrix::from_network(endpoints, ta);
+  const noc::PlacementResult a = noc::optimize_placement(topo, m);
+  const noc::PlacementResult b = noc::optimize_placement(topo, m);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.greedy_swaps, b.greedy_swaps);
+  EXPECT_EQ(a.anneal_accepts, b.anneal_accepts);
+  EXPECT_LT(a.cost, a.initial_cost) << "search should beat the corner layout";
+
+  // A different annealing seed still reproduces against itself.
+  noc::PlacementOptions opts;
+  opts.seed = 1234567;
+  const noc::PlacementResult c = noc::optimize_placement(topo, m, opts);
+  const noc::PlacementResult d = noc::optimize_placement(topo, m, opts);
+  EXPECT_EQ(c.assignment, d.assignment);
+  EXPECT_EQ(c.cost, d.cost);
+}
+
+TEST(Determinism, TorusRunWithPlacementReproduces) {
+  // The full gen-2 configuration — torus fabric, optimized placement,
+  // kMeta over the NoC — must still be bit-reproducible run to run.
+  workloads::GaussianConfig gcfg;
+  gcfg.n = 60;
+  const Trace tr = workloads::make_gaussian(gcfg);
+  auto run_once = [&tr](std::vector<ScheduleEntry>* sched) {
+    NexusSharpConfig cfg;
+    cfg.num_task_graphs = 4;
+    cfg.freq_mhz = 100.0;
+    cfg.noc.kind = noc::TopologyKind::kTorus;
+    cfg.noc.placement = {5, 0, 1, 2, 3, 4};  // rotate all six endpoints
+    cfg.noc.placement_name = "rot1";
+    NexusSharp mgr(cfg);
+    RuntimeConfig rc;
+    rc.workers = 8;
+    rc.schedule_out = sched;
+    return run_trace(tr, mgr, rc).makespan;
+  };
+  std::vector<ScheduleEntry> sa, sb;
+  const Tick a = run_once(&sa);
+  const Tick b = run_once(&sb);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].task, sb[i].task) << "entry " << i;
+    EXPECT_EQ(sa[i].start, sb[i].start) << "entry " << i;
   }
 }
 

@@ -56,6 +56,36 @@ TEST(Harness, SharpSpecUsesTableIFrequency) {
   EXPECT_DOUBLE_EQ(fixed.sharp.freq_mhz, 100.0);
 }
 
+TEST(Harness, TopologyAndPlacementLabelsJoinBothAxes) {
+  ManagerSpec spec = ManagerSpec::nexussharp(6);
+  RuntimeConfig rc;
+  EXPECT_EQ(topology_label(spec, rc), "ideal");
+  EXPECT_EQ(placement_label(spec, rc), "default");
+
+  spec.sharp.noc.kind = noc::TopologyKind::kTorus;
+  EXPECT_EQ(topology_label(spec, rc), "torus");
+
+  spec.sharp.noc.placement = {0, 1, 2, 3, 4, 5, 6, 7};
+  spec.sharp.noc.placement_name = "optimized";
+  EXPECT_EQ(placement_label(spec, rc), "optimized");
+
+  // Host-side-only placement keeps its own label; mixed axes combine.
+  ManagerSpec plain = ManagerSpec::nexussharp(6);
+  rc.noc.placement_name = "opt-host";
+  EXPECT_EQ(placement_label(plain, rc), "host-opt-host");
+  EXPECT_EQ(placement_label(spec, rc), "optimized+host-opt-host");
+
+  // The record serializer emits both optional fields only when non-default.
+  const std::string rec = metrics_report_json(
+      "b", "w", "m", 8, 1000, 1.0, nullptr, nullptr, "torus", "optimized");
+  EXPECT_NE(rec.find("\"topology\":\"torus\""), std::string::npos);
+  EXPECT_NE(rec.find("\"placement\":\"optimized\""), std::string::npos);
+  const std::string plain_rec =
+      metrics_report_json("b", "w", "m", 8, 1000, 1.0, nullptr);
+  EXPECT_EQ(plain_rec.find("\"topology\""), std::string::npos);
+  EXPECT_EQ(plain_rec.find("\"placement\""), std::string::npos);
+}
+
 TEST(Harness, ManagersOrderOnFineGrainedWork) {
   // The paper's qualitative result in one assertion: on fine-grained
   // wavefront work with many cores, ideal >= nexus# >= nexus++ and all

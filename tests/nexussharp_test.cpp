@@ -3,7 +3,9 @@
 // stall recovery, and schedule legality across TG counts and workloads.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "nexus/nexuspp/nexuspp.hpp"
@@ -347,6 +349,133 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return n;
     });
+
+// ---------- arbiter record reordering (kMeta over the NoC) ----------
+
+/// Captures every write-back the arbiter delivers, directly as a host.
+struct RecordingHost final : RuntimeHost {
+  std::vector<TaskId> ready;
+  void task_ready(Simulation&, TaskId id) override { ready.push_back(id); }
+  void master_resume(Simulation&) override {}
+};
+
+/// Drive a bare SharpArbiter with an explicit event schedule: each entry is
+/// (time-in-cycles, op, a, b). Returns the committed (write-back) task set.
+std::vector<TaskId> run_arbiter_schedule(
+    const NexusSharpConfig& cfg,
+    const std::vector<std::tuple<std::int64_t, std::uint32_t, std::uint64_t,
+                                 std::uint64_t>>& events,
+    std::uint64_t* meta_parks = nullptr) {
+  noc::Network net(cfg.noc, sharp_noc_endpoints(cfg.num_task_graphs),
+                   cfg.freq_mhz, 0);
+  detail::SharpArbiter arb(cfg, ArbiterPolicy::kReadyFirst, &net);
+  Simulation sim;
+  RecordingHost host;
+  arb.attach(sim, &host);
+  net.attach(sim);
+  for (const auto& [cycle, op, a, b] : events)
+    sim.schedule(static_cast<Tick>(cycle) * kCycle, arb.component_id(), op, a,
+                 b);
+  sim.run();
+  EXPECT_EQ(arb.sim_tasks_live(), 0u) << "gather state must drain";
+  if (meta_parks != nullptr) *meta_parks = arb.meta_parks();
+  return host.ready;
+}
+
+/// Pack (task, value<<32): kMeta's nparams and kDep's contributes share the
+/// encoding.
+std::uint64_t meta_rec(TaskId id, std::uint32_t value) {
+  return static_cast<std::uint64_t>(id) |
+         (static_cast<std::uint64_t>(value) << 32);
+}
+
+TEST(NexusSharpArbiter, MetaAfterReadyParksThenCommitsIdentically) {
+  // A single-param ready task, in order (meta first) and adversarially
+  // reordered (ready first): both schedules must commit exactly task 7,
+  // and the reordered one must have parked the ready record.
+  const NexusSharpConfig cfg = cfg_at_100mhz(2);
+  using detail::SharpArbiter;
+  std::uint64_t parks = 0;
+  const std::vector<TaskId> in_order = run_arbiter_schedule(
+      cfg, {{0, SharpArbiter::kMeta, meta_rec(7, 1), 0},
+            {1, SharpArbiter::kReady, 7, 0}});
+  const std::vector<TaskId> reordered = run_arbiter_schedule(
+      cfg, {{0, SharpArbiter::kReady, 7, 0},
+            {1, SharpArbiter::kMeta, meta_rec(7, 1), 0}},
+      &parks);
+  EXPECT_EQ(in_order, (std::vector<TaskId>{7}));
+  EXPECT_EQ(reordered, in_order) << "commit set must not depend on order";
+  EXPECT_EQ(parks, 1u);
+}
+
+TEST(NexusSharpArbiter, MetaAfterDepsAndKickCommitsIdentically) {
+  // A two-param task whose blocking dependence is kicked before the
+  // descriptor even lands: dep records from both graphs, then the kick,
+  // then kMeta dead last. The gather must absorb the kick (pending_dec)
+  // and conclude the task ready — the same commit set as the in-order
+  // schedule.
+  const NexusSharpConfig cfg = cfg_at_100mhz(2);
+  using detail::SharpArbiter;
+  const std::vector<TaskId> in_order = run_arbiter_schedule(
+      cfg, {{0, SharpArbiter::kMeta, meta_rec(3, 2), 0},
+            {1, SharpArbiter::kDep, meta_rec(3, 1), 0},  // blocking param
+            {2, SharpArbiter::kDep, meta_rec(3, 0), 1},  // free param
+            {3, SharpArbiter::kWait, 3, 0}});
+  const std::vector<TaskId> reordered = run_arbiter_schedule(
+      cfg, {{0, SharpArbiter::kDep, meta_rec(3, 1), 0},
+            {1, SharpArbiter::kDep, meta_rec(3, 0), 1},
+            {2, SharpArbiter::kWait, 3, 0},
+            {3, SharpArbiter::kMeta, meta_rec(3, 2), 0}});
+  EXPECT_EQ(in_order, (std::vector<TaskId>{3}));
+  EXPECT_EQ(reordered, in_order);
+}
+
+TEST(NexusSharpArbiter, InterleavedTasksReorderedCommitTheSameSet) {
+  // Several tasks with interleaved, adversarially shuffled record streams:
+  // a parked ready (task 10), a late meta behind a full gather (task 11,
+  // stays blocked -> parked in dep counts), and a normal in-order task 12.
+  const NexusSharpConfig cfg = cfg_at_100mhz(2);
+  using detail::SharpArbiter;
+  std::uint64_t parks = 0;
+  const std::vector<TaskId> committed = run_arbiter_schedule(
+      cfg, {{0, SharpArbiter::kReady, 10, 0},
+            {0, SharpArbiter::kDep, meta_rec(11, 1), 0},
+            {1, SharpArbiter::kMeta, meta_rec(12, 1), 0},
+            {1, SharpArbiter::kDep, meta_rec(11, 0), 1},
+            {2, SharpArbiter::kMeta, meta_rec(11, 2), 0},  // concludes: blocked
+            {3, SharpArbiter::kReady, 12, 0},
+            {4, SharpArbiter::kMeta, meta_rec(10, 1), 0},  // releases the park
+            {5, SharpArbiter::kWait, 11, 0}},              // kicks 11 ready
+      &parks);
+  std::vector<TaskId> sorted = committed;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<TaskId>{10, 11, 12}));
+  EXPECT_EQ(parks, 1u);
+}
+
+TEST(NexusSharp, TorusMetaOverNocKeepsSchedulesLegal) {
+  // Whole-stack version of the reordering contract: on a torus the kMeta
+  // descriptor is routed traffic and really can land after ready records.
+  // The run must still execute every task exactly once, produce a
+  // hazard-legal schedule, and commit the same task set as the in-order
+  // (ideal side-band) baseline.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(8));
+  NexusSharpConfig cfg = cfg_at_100mhz(6);
+  cfg.noc.kind = noc::TopologyKind::kTorus;
+  NexusSharp mgr(cfg);
+  std::vector<ScheduleEntry> sched;
+  RuntimeConfig rc;
+  rc.workers = 32;
+  rc.schedule_out = &sched;
+  const RunResult r = run_trace(tr, mgr, rc);
+  EXPECT_EQ(r.tasks, tr.num_tasks());
+  ASSERT_EQ(sched.size(), tr.num_tasks());
+  std::string error;
+  EXPECT_TRUE(testing::validate_schedule(tr, sched, &error)) << error;
+  const NexusSharp::Stats s = mgr.stats();
+  EXPECT_EQ(s.sim_tasks_live, 0u);
+  EXPECT_EQ(s.ready_out, tr.num_tasks());
+}
 
 TEST(NexusSharp, DeterministicAcrossRuns) {
   const Trace tr = workloads::make_h264dec(workloads::h264_config(8));

@@ -1,14 +1,19 @@
-// nexus::noc tests: routing geometry (XY mesh, shortest-way ring), link
-// contention serialization, queuing/backpressure behind a bottleneck link,
-// hop-count goldens, and the subsystem's load-bearing contract — the ideal
-// topology reproduces the pre-NoC ("seed") makespans bit-identically, while
-// ring/mesh bound them from above.
+// nexus::noc tests: routing geometry (XY mesh, shortest-way ring, torus
+// wraparound), multi-flit serialization and flit conservation, link
+// contention, queuing/backpressure behind a bottleneck link, hop-count
+// goldens, the placement search, and the subsystem's load-bearing contract
+// — the ideal topology reproduces the pre-NoC ("seed") makespans
+// bit-identically even with multi-flit accounting, while ring/mesh/torus
+// bound them from above.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <string>
 #include <vector>
 
+#include "nexus/common/rng.hpp"
 #include "nexus/noc/network.hpp"
+#include "nexus/noc/placement.hpp"
 #include "nexus/noc/topology.hpp"
 #include "nexus/nexuspp/nexuspp.hpp"
 #include "nexus/nexussharp/nexussharp.hpp"
@@ -36,8 +41,11 @@ TEST(Topology, ParseAndToString) {
   EXPECT_EQ(k, TopologyKind::kRing);
   EXPECT_TRUE(noc::parse_topology("mesh", &k));
   EXPECT_EQ(k, TopologyKind::kMesh);
-  EXPECT_FALSE(noc::parse_topology("torus", &k));
+  EXPECT_TRUE(noc::parse_topology("torus", &k));
+  EXPECT_EQ(k, TopologyKind::kTorus);
+  EXPECT_FALSE(noc::parse_topology("fat-tree", &k));
   EXPECT_STREQ(noc::to_string(TopologyKind::kRing), "ring");
+  EXPECT_STREQ(noc::to_string(TopologyKind::kTorus), "torus");
 }
 
 TEST(Topology, IdealHasNoLinksAndUnitHops) {
@@ -120,6 +128,60 @@ TEST(Topology, MeshXYRoutingGoldens) {
   EXPECT_EQ(t.link_dst(route[0]), 7u);
   EXPECT_EQ(t.link_dst(route[1]), 6u);
   EXPECT_EQ(t.link_dst(route[2]), 3u);
+}
+
+TEST(Topology, TorusWraparoundHopGoldens) {
+  // Mirrors MeshXYRoutingGoldens on the same 3x3 grid, now with wraps:
+  //  0 1 2
+  //  3 4 5    (+ wraparound links in both dimensions)
+  //  6 7 8
+  const Topology t(TopologyKind::kTorus, 9);
+  EXPECT_EQ(t.describe(), "torus3x3");
+  EXPECT_EQ(t.node_count(), 9u);
+  EXPECT_EQ(t.link_count(), 36u);  // full torus: every node has degree 4
+  EXPECT_EQ(t.hops(0, 8), 2u);     // the mesh pays 4 corner-to-corner
+  EXPECT_EQ(t.hops(2, 6), 2u);
+  EXPECT_EQ(t.hops(0, 2), 1u);  // x wraparound
+  EXPECT_EQ(t.hops(0, 6), 1u);  // y wraparound
+  EXPECT_EQ(t.hops(4, 4), 0u);
+  EXPECT_EQ(t.hops(3, 5), 1u);
+
+  // XY order still holds: 0 -> 8 wraps x first (0 -> 2), then y (2 -> 8).
+  std::vector<noc::LinkId> route;
+  t.route(0, 8, &route);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(t.link_dst(route[0]), 2u);
+  EXPECT_EQ(t.link_dst(route[1]), 8u);
+
+  // Interior routes do not wrap: 4 -> 0 goes 4 -> 3 -> 0.
+  t.route(4, 0, &route);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(t.link_dst(route[0]), 3u);
+  EXPECT_EQ(t.link_dst(route[1]), 0u);
+}
+
+TEST(Topology, TorusTieBreaksForwardAndSmallDimsStayMesh) {
+  //  0 1 2 3    2 rows x 4 cols: the x dimension has equal-way ties, the
+  //  4 5 6 7    y dimension (size 2) is too small to wrap at all.
+  const Topology t(TopologyKind::kTorus, 8, /*mesh_cols=*/4);
+  EXPECT_EQ(t.describe(), "torus2x4");
+  // Mesh links 2*(2*3 + 4*1) = 20, plus x wraps on each row = 4; no y wraps.
+  EXPECT_EQ(t.link_count(), 24u);
+  EXPECT_EQ(t.hops(0, 2), 2u);  // tie: both ways are 2
+  EXPECT_EQ(t.hops(0, 3), 1u);  // wrap is shorter
+  // Tie-break routes forward (+x): 0 -> 1 -> 2, mirroring the ring's
+  // deterministic clockwise rule.
+  std::vector<noc::LinkId> route;
+  t.route(0, 2, &route);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(t.link_dst(route[0]), 1u);
+  EXPECT_EQ(t.link_dst(route[1]), 2u);
+
+  // A torus whose dimensions are all <= 2 degenerates to exactly the mesh.
+  const Topology small(TopologyKind::kTorus, 4, /*mesh_cols=*/2);
+  const Topology mesh(TopologyKind::kMesh, 4, /*mesh_cols=*/2);
+  EXPECT_EQ(small.link_count(), mesh.link_count());
+  EXPECT_EQ(small.hops(0, 3), mesh.hops(0, 3));
 }
 
 TEST(Topology, LinkLabelsAreTelemetryPathSafe) {
@@ -243,6 +305,78 @@ TEST(Network, HopCountGoldensAcrossTheMesh) {
   EXPECT_EQ(sink.seen[1].t, 4 * 2 * kCycle);  // 4 hops * 2 cycles
 }
 
+TEST(Network, FlitsForMatchesTheHeaderPlusPayloadFormula) {
+  Network net(cfg_kind(TopologyKind::kRing), 2, 100.0, 0);
+  EXPECT_EQ(net.flits_for(0), 1u);   // bare record: header only
+  EXPECT_EQ(net.flits_for(1), 2u);
+  EXPECT_EQ(net.flits_for(8), 2u);   // one parameter
+  EXPECT_EQ(net.flits_for(9), 3u);
+  EXPECT_EQ(net.flits_for(32), 5u);  // four parameters
+}
+
+TEST(Network, MultiFlitMessageOccupiesTheLinkForItsWholeTrain) {
+  // Two nodes, hop=1, link=1, flit_bytes=8. A 16-byte message is 3 flits:
+  // the head emerges after the hop cycle, the tail 2 link cycles later, so
+  // delivery lands at cycle 3 and the link stays busy for 3 cycles. A
+  // second identical message injected at the same instant queues behind
+  // the whole train (3 stall cycles), not just behind one flit.
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  Network net(cfg_kind(TopologyKind::kRing, /*hop=*/1, /*link=*/1), 2, 100.0, 0);
+  net.attach(sim);
+  net.send(sim, 0, 0, 1, dst, 0, 1, 0, /*payload_bytes=*/16);
+  net.send(sim, 0, 0, 1, dst, 0, 2, 0, /*payload_bytes=*/16);
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 2u);
+  EXPECT_EQ(sink.seen[0].t, 3 * kCycle);
+  EXPECT_EQ(sink.seen[1].t, 6 * kCycle);
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.injected_flits, 6u);
+  EXPECT_EQ(s.delivered_flits, 6u);
+  EXPECT_EQ(s.link_flits[0], 6u);
+  EXPECT_EQ(s.link_busy[0], 6 * kCycle);
+  EXPECT_EQ(s.blocked_flits, 1u);
+  EXPECT_EQ(s.stall_ticks, 3 * kCycle);
+}
+
+TEST(Network, FlitConservationAcrossTopologies) {
+  // Property: after a drained run of seeded pseudo-random traffic, every
+  // message was delivered and the delivered flit count equals the sum of
+  // the per-message flit counts (= the injected count, = the traffic-matrix
+  // total) on every topology — nothing is lost, duplicated or re-split.
+  for (const TopologyKind kind :
+       {TopologyKind::kIdeal, TopologyKind::kRing, TopologyKind::kMesh,
+        TopologyKind::kTorus}) {
+    Simulation sim;
+    Sink sink;
+    const std::uint32_t dst = sim.add_component(&sink);
+    Network net(cfg_kind(kind, /*hop=*/2, /*link=*/1), 9, 100.0, 3 * kCycle);
+    net.attach(sim);
+    Xoshiro256 rng(2026);
+    std::uint64_t expected_flits = 0;
+    constexpr std::uint64_t kMsgs = 200;
+    for (std::uint64_t i = 0; i < kMsgs; ++i) {
+      const auto src = static_cast<noc::NodeId>(rng.below(9));
+      const auto to = static_cast<noc::NodeId>(rng.below(9));
+      const auto payload = static_cast<std::uint32_t>(rng.below(40));
+      expected_flits += net.flits_for(payload);
+      net.send(sim, sim.now(), src, to, dst, 0, i, 0, payload);
+    }
+    sim.run();
+    const Network::Stats s = net.stats();
+    EXPECT_EQ(sink.seen.size(), kMsgs) << noc::to_string(kind);
+    EXPECT_EQ(s.messages, kMsgs) << noc::to_string(kind);
+    EXPECT_EQ(s.delivered, kMsgs) << noc::to_string(kind);
+    EXPECT_EQ(s.injected_flits, expected_flits) << noc::to_string(kind);
+    EXPECT_EQ(s.delivered_flits, expected_flits) << noc::to_string(kind);
+    EXPECT_EQ(std::accumulate(s.traffic.begin(), s.traffic.end(),
+                              std::uint64_t{0}),
+              expected_flits)
+        << noc::to_string(kind);
+  }
+}
+
 TEST(Network, TelemetryMatchesStats) {
   telemetry::MetricRegistry reg;
   Simulation sim;
@@ -257,6 +391,8 @@ TEST(Network, TelemetryMatchesStats) {
   const Network::Stats s = net.stats();
   EXPECT_EQ(snap.counter_at("noc/messages"), s.messages);
   EXPECT_EQ(snap.counter_at("noc/delivered"), s.delivered);
+  EXPECT_EQ(snap.counter_at("noc/flits"), s.injected_flits);
+  EXPECT_EQ(snap.counter_at("noc/delivered_flits"), s.delivered_flits);
   EXPECT_EQ(snap.counter_at("noc/blocked_flits"), s.blocked_flits);
   EXPECT_EQ(snap.counter_at("noc/stall_ps"),
             static_cast<std::uint64_t>(s.stall_ticks));
@@ -265,6 +401,86 @@ TEST(Network, TelemetryMatchesStats) {
   ASSERT_NE(hops, nullptr);
   EXPECT_EQ(hops->hist.count, s.delivered);
   EXPECT_EQ(hops->hist.sum, s.total_hops);
+}
+
+// ---------- placement ----------
+
+TEST(Placement, CostTracksWeightedHopDistance) {
+  //  0 - 1 - 2  (1x3 mesh row): all traffic between endpoints 0 and 2.
+  const Topology t(TopologyKind::kMesh, 3, /*mesh_cols=*/3);
+  noc::TrafficMatrix m(3);
+  m.add(0, 2, 10);
+  m.add(2, 0, 10);
+  const std::vector<std::uint32_t> identity{0, 1, 2};
+  EXPECT_EQ(noc::placement_cost(t, identity, m), 40u);  // 2 hops x 20 flits
+  const std::vector<std::uint32_t> adjacent{0, 2, 1};   // 1 gets out of the way
+  EXPECT_EQ(noc::placement_cost(t, adjacent, m), 20u);
+}
+
+TEST(Placement, SearchFindsTheAdjacentLayout) {
+  const Topology t(TopologyKind::kMesh, 3, /*mesh_cols=*/3);
+  noc::TrafficMatrix m(3);
+  m.add(0, 2, 10);
+  m.add(2, 0, 10);
+  const noc::PlacementResult r = noc::optimize_placement(t, m);
+  EXPECT_EQ(r.initial_cost, 40u);
+  EXPECT_EQ(r.cost, 20u);
+  EXPECT_EQ(noc::placement_cost(t, r.assignment, m), r.cost);
+  EXPECT_EQ(t.hops(r.assignment[0], r.assignment[2]), 1u);
+  EXPECT_GE(r.greedy_swaps, 1u);
+}
+
+TEST(Placement, IdealTopologyReturnsTheIdentity) {
+  const Topology t(TopologyKind::kIdeal, 4);
+  noc::TrafficMatrix m(4);
+  m.add(0, 3, 100);
+  const noc::PlacementResult r = noc::optimize_placement(t, m);
+  EXPECT_EQ(r.assignment, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(r.cost, r.initial_cost);
+}
+
+TEST(Placement, SearchMayUseFillerTiles) {
+  // 3 endpoints on a 2x2 grid (tile 3 is a filler): heavy 0<->1<->2 chain
+  // traffic. The search is free to park an endpoint on the filler.
+  const Topology t(TopologyKind::kMesh, 3, /*mesh_cols=*/2);
+  ASSERT_EQ(t.node_count(), 4u);
+  noc::TrafficMatrix m(3);
+  m.add(0, 1, 5);
+  m.add(1, 2, 5);
+  m.add(2, 0, 5);
+  const noc::PlacementResult r = noc::optimize_placement(t, m);
+  EXPECT_LE(r.cost, r.initial_cost);
+  // Whatever layout wins, it must stay a valid injection into the grid.
+  std::vector<bool> used(t.node_count(), false);
+  for (const std::uint32_t tile : r.assignment) {
+    ASSERT_LT(tile, t.node_count());
+    EXPECT_FALSE(used[tile]);
+    used[tile] = true;
+  }
+}
+
+TEST(Placement, NetworkAppliesThePlacement) {
+  // 1x3 mesh, endpoints 0 and 2 talk. Under the identity they pay 2 hops;
+  // placed adjacently ({0, 2, 1}) the same logical send pays 1 — and the
+  // traffic matrix still records the *logical* pair, so a measured matrix
+  // is placement-independent.
+  Simulation sim;
+  Sink sink;
+  const std::uint32_t dst = sim.add_component(&sink);
+  NocConfig cfg = cfg_kind(TopologyKind::kMesh, /*hop=*/1, /*link=*/1);
+  cfg.mesh_cols = 3;
+  cfg.placement = {0, 2, 1};
+  cfg.placement_name = "swap12";
+  Network net(cfg, 3, 100.0, 0);
+  net.attach(sim);
+  EXPECT_EQ(net.tile_of(1), 2u);
+  net.send(sim, 0, 0, 2, dst, 0, 7);
+  sim.run();
+  ASSERT_EQ(sink.seen.size(), 1u);
+  EXPECT_EQ(sink.seen[0].t, 1 * kCycle);  // one hop instead of two
+  const Network::Stats s = net.stats();
+  EXPECT_EQ(s.total_hops, 1u);
+  EXPECT_EQ(s.traffic[0 * 3 + 2], 1u) << "traffic keyed by logical endpoint";
 }
 
 // ---------- whole-stack contracts ----------
@@ -322,11 +538,13 @@ TEST(NocIntegration, IdealNetworkWithTelemetryDoesNotPerturb) {
   EXPECT_EQ(snap.counter_at("nexus#/noc/blocked_flits"), 0u);
 }
 
-TEST(NocIntegration, RingAndMeshBoundIdealFromAbove) {
+TEST(NocIntegration, RingMeshAndTorusBoundIdealFromAbove) {
   const Trace tr = workloads::make_gaussian({.n = 120});
   Tick ideal = 0;
+  Tick mesh = 0;
   for (const TopologyKind kind :
-       {TopologyKind::kIdeal, TopologyKind::kRing, TopologyKind::kMesh}) {
+       {TopologyKind::kIdeal, TopologyKind::kRing, TopologyKind::kMesh,
+        TopologyKind::kTorus}) {
     NexusSharp mgr(sharp_cfg(6, 0.0, kind));
     RuntimeConfig rc;
     rc.workers = 16;
@@ -343,8 +561,35 @@ TEST(NocIntegration, RingAndMeshBoundIdealFromAbove) {
       EXPECT_GT(s.blocked_flits, 0u);
       EXPECT_GT(s.stall_ticks, 0);
       EXPECT_GT(s.total_hops, s.delivered);  // mean hop count > 1
+      // Conservation holds across the whole drained run.
+      EXPECT_EQ(s.delivered, s.messages);
+      EXPECT_EQ(s.delivered_flits, s.injected_flits);
+      if (kind == TopologyKind::kMesh) mesh = makespan;
+      if (kind == TopologyKind::kTorus) {
+        // Wraparound shortens routes; same grid, same traffic.
+        EXPECT_LT(makespan, mesh);
+      }
     }
   }
+}
+
+TEST(NocIntegration, IdealMultiFlitAccountingDoesNotPerturb) {
+  // The satellite contract: enabling multi-flit accounting (payloads are
+  // attached to every send) must leave the ideal topology bit-identical to
+  // the pinned seed makespans — the crossbar counts flits but never
+  // charges them.
+  const Trace tr = workloads::make_gaussian({.n = 120});
+  NexusSharp mgr(sharp_cfg(4, 100.0));
+  EXPECT_EQ(run_trace(tr, mgr, RuntimeConfig{.workers = 16}).makespan,
+            kSeedSharp4Gauss120W16);
+  const Network::Stats s = mgr.network().stats();
+  EXPECT_EQ(s.delivered, s.messages);
+  EXPECT_GT(s.injected_flits, s.messages)
+      << "parameter payloads should make most messages multi-flit";
+  EXPECT_EQ(s.delivered_flits, s.injected_flits);
+  EXPECT_EQ(std::accumulate(s.traffic.begin(), s.traffic.end(),
+                            std::uint64_t{0}),
+            s.injected_flits);
 }
 
 TEST(NocIntegration, MeshRunDrainsAndStaysLive) {
@@ -379,8 +624,10 @@ TEST(NocIntegration, HostNocChargesDispatchAndNotifyDistance) {
   const Tick ideal = run_with(TopologyKind::kIdeal);
   const Tick ring = run_with(TopologyKind::kRing);
   // Worker 0 sits at host node 1: one hop out, one hop back = 2 hops of 3
-  // cycles each at the host NoC's 100 MHz clock.
-  EXPECT_EQ(ring, ideal + 2 * 3 * kCycle);
+  // cycles each at the host NoC's 100 MHz clock. The dispatch carries a
+  // parameter-sized payload (task id + fn ptr), so its tail flit adds one
+  // more link cycle; the bare finish notification stays a single flit.
+  EXPECT_EQ(ring, ideal + (2 * 3 + 1) * kCycle);
 }
 
 TEST(NocIntegration, NexusPPRingSerializesTheOneLinkPair) {

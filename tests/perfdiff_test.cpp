@@ -255,6 +255,44 @@ TEST(Perfdiff, AddedAndRemovedRecordsAreReportedNotFailed) {
   EXPECT_EQ(res.removed, 1);
 }
 
+TEST(Perfdiff, PlacementIsPartOfTheJoinKey) {
+  // A default-layout baseline must not be compared against an optimized
+  // candidate of the same bench/workload/manager/topology/cores — they are
+  // different configurations, so the optimized row is "new", never a
+  // regression even when slower.
+  BenchRecord def = fixture(1000, 40);
+  BenchRecord opt = fixture(5000, 40);
+  opt.placement = "optimized";
+  const PerfdiffResult res =
+      harness::perfdiff_compare({def}, {def, opt});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.compared, 1);
+  EXPECT_EQ(res.added, 1);
+  EXPECT_NE(res.report.find("not a regression"), std::string::npos);
+
+  // Same placement on both sides joins (and here regresses on makespan).
+  BenchRecord opt_base = opt;
+  opt_base.makespan = 1000;
+  EXPECT_FALSE(harness::perfdiff_compare({opt_base}, {opt}).ok());
+}
+
+TEST(Perfdiff, PlacementFieldRoundTripsAndDefaultsWhenAbsent) {
+  std::vector<BenchRecord> recs;
+  std::string error;
+  const std::string doc =
+      "[" +
+      std::string(
+          R"({"schema":2,"bench":"ablation_placement","workload":"h264dec-8x8-10f","manager":"nexus#-8TG","topology":"torus","placement":"optimized","cores":16,"makespan":7000,"speedup":1.0,"metrics":{}},)") +
+      std::string(
+          R"({"schema":2,"bench":"ablation_placement","workload":"h264dec-8x8-10f","manager":"nexus#-8TG","topology":"torus","cores":16,"makespan":7000,"speedup":1.0,"metrics":{}})") +
+      "]";
+  ASSERT_TRUE(parse_bench_records(doc, &recs, &error)) << error;
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].placement, "optimized");
+  EXPECT_EQ(recs[1].placement, "default");
+  EXPECT_NE(recs[0].key(), recs[1].key());
+}
+
 TEST(Perfdiff, ThresholdsAreConfigurable) {
   const std::vector<BenchRecord> base{fixture(1000, 40)};
   const std::vector<BenchRecord> cand{fixture(1100, 40)};
