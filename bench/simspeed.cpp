@@ -1,0 +1,285 @@
+// DES kernel throughput: events/sec of the binary-heap and calendar-queue
+// schedulers on (a) a synthetic hold-model event storm and (b) Table-II
+// workload runs through the full Nexus# stack.
+//
+// The storm is a PHOLD-style hold model: a fixed in-flight population of
+// events, each handled event scheduling exactly one successor at a seeded
+// random delay (mostly uniform, with same-tick bursts and far-future
+// stragglers mixed in, so the calendar queue's tie-break, bucket rotation
+// and sweep paths are all on the measured path). Both queue kinds replay
+// the identical event stream — the bench cross-checks makespan, event count
+// and an order-sensitive checksum between them, so a speedup number from a
+// queue that reordered events can never be reported.
+//
+// With --json=<path> it writes BENCH_simspeed.json records: one row per
+// (workload, queue kind), manager "kernel-heap"/"kernel-calendar", the
+// deterministic sim makespan (perfdiff gates it tightly), and wall-clock
+// metrics simspeed/events_per_sec + simspeed/wall_us (gated
+// improvement-only with a generous tolerance — wall clock is machine-
+// dependent). The record's "speedup" field is events/sec relative to the
+// binary-heap row of the same workload.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/rng.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/harness/experiment.hpp"
+#include "nexus/sim/event_queue.hpp"
+#include "nexus/sim/simulation.hpp"
+#include "nexus/telemetry/registry.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+
+namespace {
+
+constexpr Tick kMeanDelay = 20000;  // ~2 cycles at 100 MHz
+
+/// Hold-model component: every event schedules exactly one successor, so
+/// the in-flight population (and therefore the pending-queue size) stays
+/// constant at whatever the priming pass injected.
+class StormCore final : public Component {
+ public:
+  StormCore(std::uint64_t seed, std::uint32_t ncomp, std::uint64_t* checksum)
+      : rng_(seed), ncomp_(ncomp), checksum_(checksum) {}
+
+  void handle(Simulation& sim, const Event& ev) override {
+    // Order-sensitive checksum: multiplying the running value in ties the
+    // result to the exact pop order, not just the popped multiset.
+    *checksum_ = (*checksum_ * 0x9E3779B97F4A7C15ULL) ^
+                 static_cast<std::uint64_t>(ev.t) ^ (ev.a << 17);
+    // Draws hoisted: the certified stream must not depend on argument
+    // evaluation order (same discipline as determinism_test).
+    const std::uint64_t sel = rng_.below(128);
+    const Tick delay = sel < 6    ? 0                       // same-tick burst
+                       : sel < 8  ? 100 * kMeanDelay        // straggler
+                                  : static_cast<Tick>(rng_.below(2 * kMeanDelay));
+    const auto dest = static_cast<std::uint32_t>(rng_.below(ncomp_));
+    sim.schedule_in(delay, dest, ev.op, ev.a + 1);
+  }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint32_t ncomp_;
+  std::uint64_t* checksum_;
+};
+
+struct StormResult {
+  Tick makespan = 0;
+  std::uint64_t events = 0;
+  std::uint64_t checksum = 0;
+  double wall_us = 0.0;
+  double events_per_sec = 0.0;
+};
+
+StormResult run_storm(QueueKind kind, std::uint64_t n_events,
+                      std::uint64_t inflight, std::uint32_t ncomp,
+                      std::uint64_t seed) {
+  Simulation sim(kind);
+  std::uint64_t checksum = 0x6E78757353696D21ULL;
+  std::vector<StormCore> cores;
+  cores.reserve(ncomp);
+  for (std::uint32_t i = 0; i < ncomp; ++i)
+    cores.emplace_back(seed ^ (0x1000 + i), ncomp, &checksum);
+  for (auto& c : cores) sim.add_component(&c);
+
+  Xoshiro256 prime(seed);
+  for (std::uint64_t i = 0; i < inflight; ++i) {
+    const Tick t = static_cast<Tick>(prime.below(2 * kMeanDelay));
+    const auto dest = static_cast<std::uint32_t>(prime.below(ncomp));
+    sim.schedule(t, dest, /*op=*/0, /*a=*/i);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_some(n_events);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  StormResult r;
+  r.makespan = sim.now();
+  r.events = sim.events_processed();
+  r.checksum = checksum;
+  r.wall_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          t1 - t0)
+          .count();
+  r.events_per_sec = r.wall_us > 0.0 ? static_cast<double>(r.events) /
+                                           (r.wall_us * 1e-6)
+                                     : 0.0;
+  return r;
+}
+
+struct TraceResult {
+  Tick makespan = 0;
+  std::uint64_t events = 0;
+  double wall_us = 0.0;
+  double events_per_sec = 0.0;
+};
+
+TraceResult run_workload(QueueKind kind, const Trace& tr, std::uint32_t cores) {
+  set_default_queue_kind(kind);  // run_trace builds its Simulation internally
+  const harness::ManagerSpec spec = harness::ManagerSpec::nexussharp(6);
+  NexusSharp mgr(spec.sharp);
+  RuntimeConfig rc;
+  rc.workers = cores;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult res = run_trace(tr, mgr, rc);
+  const auto t1 = std::chrono::steady_clock::now();
+  TraceResult r;
+  r.makespan = res.makespan;
+  r.events = res.events;
+  r.wall_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          t1 - t0)
+          .count();
+  r.events_per_sec =
+      r.wall_us > 0.0 ? static_cast<double>(r.events) / (r.wall_us * 1e-6) : 0.0;
+  return r;
+}
+
+/// One BENCH record: the deterministic makespan plus wall-clock gauges.
+std::string record(const std::string& workload, QueueKind kind,
+                   std::uint32_t cores, Tick makespan, std::uint64_t events,
+                   double wall_us, double events_per_sec, double speedup) {
+  telemetry::MetricRegistry reg;
+  reg.gauge("simspeed/events").set(static_cast<std::int64_t>(events));
+  reg.gauge("simspeed/events_per_sec")
+      .set(static_cast<std::int64_t>(events_per_sec));
+  reg.gauge("simspeed/wall_us").set(static_cast<std::int64_t>(wall_us));
+  const telemetry::Snapshot snap = reg.snapshot();
+  const std::string manager = std::string("kernel-") + to_string(kind);
+  return harness::metrics_report_json("simspeed", workload, manager, cores,
+                                      makespan, speedup, &snap);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(
+      argc, argv,
+      {{"events", "storm events to process (default 1000000)"},
+       {"inflight", "storm in-flight event population (default 1048576)"},
+       {"components", "storm component count (default 256)"},
+       {"seed", "storm rng seed (default 42)"},
+       {"workloads",
+        "comma-separated Table II workloads to time through run_trace "
+        "(default sparselu,h264dec-8x8-10f; \"none\" to skip)"},
+       {"cores", "worker cores for the workload runs (default 32)"},
+       {"min-speedup",
+        "fail (exit 1) unless calendar/heap events/sec on the storm reaches "
+        "this ratio (default 0 = report only)"},
+       {"json", "write BENCH_simspeed.json records to this file"}});
+
+  const auto n_events = static_cast<std::uint64_t>(flags.get_int("events", 1000000));
+  const auto inflight = static_cast<std::uint64_t>(flags.get_int("inflight", 1048576));
+  const auto ncomp = static_cast<std::uint32_t>(flags.get_int("components", 256));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 32));
+  const QueueKind saved_default = default_queue_kind();
+
+  std::printf("simspeed: DES kernel throughput, heap vs calendar\n\n");
+  const std::string storm_label = "storm-" + std::to_string(n_events);
+  harness::BenchRecordWriter out;
+
+  // --- synthetic storm ---
+  const StormResult heap = run_storm(QueueKind::kBinaryHeap, n_events,
+                                     inflight, ncomp, seed);
+  const StormResult cal = run_storm(QueueKind::kCalendar, n_events, inflight,
+                                    ncomp, seed);
+  if (heap.makespan != cal.makespan || heap.events != cal.events ||
+      heap.checksum != cal.checksum) {
+    std::fprintf(stderr,
+                 "FATAL: queue implementations diverged on the storm "
+                 "(makespan %lld vs %lld, events %llu vs %llu, checksum "
+                 "%016llx vs %016llx)\n",
+                 static_cast<long long>(heap.makespan),
+                 static_cast<long long>(cal.makespan),
+                 static_cast<unsigned long long>(heap.events),
+                 static_cast<unsigned long long>(cal.events),
+                 static_cast<unsigned long long>(heap.checksum),
+                 static_cast<unsigned long long>(cal.checksum));
+    return 2;
+  }
+  const double storm_speedup =
+      heap.events_per_sec > 0.0 ? cal.events_per_sec / heap.events_per_sec : 0.0;
+
+  TextTable t({"workload", "queue", "events", "wall (ms)", "events/sec",
+               "vs heap"});
+  auto add = [&t](const std::string& wl, const char* queue, std::uint64_t ev,
+                  double wall_us, double eps, double ratio) {
+    t.add_row({wl, queue, TextTable::integer(static_cast<long long>(ev)),
+               TextTable::num(wall_us * 1e-3, 2),
+               TextTable::integer(static_cast<long long>(eps)),
+               TextTable::num(ratio, 2)});
+  };
+  add(storm_label, "heap", heap.events, heap.wall_us, heap.events_per_sec, 1.0);
+  add(storm_label, "calendar", cal.events, cal.wall_us, cal.events_per_sec,
+      storm_speedup);
+  out.append(record(storm_label, QueueKind::kBinaryHeap, 1, heap.makespan,
+                    heap.events, heap.wall_us, heap.events_per_sec, 1.0));
+  out.append(record(storm_label, QueueKind::kCalendar, 1, cal.makespan,
+                    cal.events, cal.wall_us, cal.events_per_sec,
+                    storm_speedup));
+
+  // --- Table II workloads through the full stack ---
+  std::vector<std::string> selected =
+      split_csv(flags.get("workloads", "sparselu,h264dec-8x8-10f"));
+  if (selected.size() == 1 && selected[0] == "none") selected.clear();
+  for (const auto& name : selected) {
+    if (!workloads::is_workload(name)) {
+      std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+      return 2;
+    }
+    const Trace tr = workloads::make_workload(name);
+    const TraceResult h = run_workload(QueueKind::kBinaryHeap, tr, cores);
+    const TraceResult c = run_workload(QueueKind::kCalendar, tr, cores);
+    if (h.makespan != c.makespan || h.events != c.events) {
+      std::fprintf(stderr, "FATAL: queue implementations diverged on %s\n",
+                   name.c_str());
+      return 2;
+    }
+    const double ratio =
+        h.events_per_sec > 0.0 ? c.events_per_sec / h.events_per_sec : 0.0;
+    add(name, "heap", h.events, h.wall_us, h.events_per_sec, 1.0);
+    add(name, "calendar", c.events, c.wall_us, c.events_per_sec, ratio);
+    out.append(record(name, QueueKind::kBinaryHeap, cores, h.makespan,
+                      h.events, h.wall_us, h.events_per_sec, 1.0));
+    out.append(record(name, QueueKind::kCalendar, cores, c.makespan, c.events,
+                      c.wall_us, c.events_per_sec, ratio));
+  }
+  set_default_queue_kind(saved_default);
+
+  t.print();
+  std::printf("\nstorm cross-check: makespan %lld, checksum %016llx — "
+              "identical under both queues\n",
+              static_cast<long long>(cal.makespan),
+              static_cast<unsigned long long>(cal.checksum));
+  std::printf("storm calendar speedup: %.2fx over the binary heap "
+              "(%llu in-flight)\n",
+              storm_speedup, static_cast<unsigned long long>(inflight));
+
+  int rc = 0;
+  const double min_speedup = flags.get_double("min-speedup", 0.0);
+  if (min_speedup > 0.0 && storm_speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: storm speedup %.2fx < required %.2fx\n",
+                 storm_speedup, min_speedup);
+    rc = 1;
+  }
+  if (flags.has("json") && !out.write(flags.get("json", ""))) rc = 2;
+  return rc;
+}

@@ -34,7 +34,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json
-               BENCH_topology.json BENCH_placement.json)
+               BENCH_topology.json BENCH_placement.json BENCH_simspeed.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -107,6 +107,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/fig9_gaussian_speedup" --quick --json BENCH_fig9.json --timeline
   smoke "${B}/ablation_topology" --quick --json BENCH_topology.json --timeline
   smoke "${B}/ablation_placement" --quick --json BENCH_placement.json --timeline
+  smoke "${B}/simspeed" --json BENCH_simspeed.json
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
   if [[ "${DIFF}" -eq 1 ]]; then

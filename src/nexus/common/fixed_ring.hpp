@@ -29,7 +29,11 @@ class FixedRing {
   /// Push to the back. Caller must check !full() first.
   void push(T v) {
     NEXUS_ASSERT_MSG(!full(), "push on full FixedRing");
-    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    // Conditional wrap instead of `%`: indices are always < capacity, and
+    // an integer division per push is real money in the event hot loop.
+    std::size_t i = head_ + size_;
+    if (i >= buf_.size()) i -= buf_.size();
+    buf_[i] = std::move(v);
     ++size_;
   }
 
@@ -52,7 +56,7 @@ class FixedRing {
   T pop() {
     NEXUS_ASSERT_MSG(!empty(), "pop on empty FixedRing");
     T v = std::move(buf_[head_]);
-    head_ = (head_ + 1) % buf_.size();
+    if (++head_ == buf_.size()) head_ = 0;
     --size_;
     return v;
   }

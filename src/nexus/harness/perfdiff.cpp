@@ -142,10 +142,15 @@ std::vector<WatchedRate> default_watched_rates() {
   // (nexus#/arbiter/dep_counts/parked, nexus#/tg<i>/table/stalls), and a
   // single-segment '*' cannot cross the extra '/'.
   return {
-      {"conflict_rate", "**/arbiter/conflicts"},
-      {"retry_rate", "**/arbiter/retries"},
-      {"park_rate", "**/dep_counts/parked"},
-      {"table_stall_rate", "**/table/stalls"},
+      {"conflict_rate", "**/arbiter/conflicts", false, 0.0},
+      {"retry_rate", "**/arbiter/retries", false, 0.0},
+      {"park_rate", "**/dep_counts/parked", false, 0.0},
+      {"table_stall_rate", "**/table/stalls", false, 0.0},
+      // Kernel throughput is wall-clock-derived: deterministic in *what* it
+      // simulates (the makespan field gates that tightly) but not in how
+      // fast the host ran it, so only a collapse — losing three quarters of
+      // the baseline's events/sec — counts as a regression.
+      {"sim_events_per_sec", "simspeed/events_per_sec", true, 75.0},
   };
 }
 
@@ -200,12 +205,18 @@ PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
     for (const auto& rate : opts.watched) {
       const double b = base.metric_sum(rate.numerator) / base.tasks();
       const double c = cand.metric_sum(rate.numerator) / cand.tasks();
-      if (c > b * (1.0 + opts.metric_tolerance_pct / 100.0) + kRateEps) {
+      const double tol = rate.tolerance_pct > 0.0 ? rate.tolerance_pct
+                                                  : opts.metric_tolerance_pct;
+      // Overhead rates regress by growing; throughput rates by shrinking.
+      const bool bad = rate.higher_is_better
+                           ? c < b * (1.0 - tol / 100.0) - kRateEps
+                           : c > b * (1.0 + tol / 100.0) + kRateEps;
+      if (bad) {
         regressed = true;
         details.push_back(
-            b != 0.0 ? fmt("%s %.6g -> %.6g (%+.1f%%, limit %.1f%%)",
+            b != 0.0 ? fmt("%s %.6g -> %.6g (%+.1f%%, limit %s%.1f%%)",
                            rate.name.c_str(), b, c, pct_change(b, c),
-                           opts.metric_tolerance_pct)
+                           rate.higher_is_better ? "-" : "+", tol)
                      : fmt("%s 0 -> %.6g (was zero)", rate.name.c_str(), c));
       }
     }

@@ -68,10 +68,21 @@ bool parse_bench_records(std::string_view json_text,
 struct WatchedRate {
   std::string name;       ///< report label, e.g. "conflict_rate"
   std::string numerator;  ///< glob over flattened metric paths
+  /// Direction of goodness. false (the default): growth beyond the
+  /// tolerance is a regression (overhead counters). true: *shrinkage*
+  /// beyond the tolerance is the regression (throughput gauges like
+  /// simspeed's events/sec) — growth is always fine.
+  bool higher_is_better = false;
+  /// Per-rate tolerance override in percent; <= 0 falls back to
+  /// PerfdiffOptions::metric_tolerance_pct. Wall-clock-derived rates need a
+  /// far wider band than deterministic counters (machine-to-machine churn).
+  double tolerance_pct = 0.0;
 };
 
 /// The default watch list: arbiter conflict/retry rates, dep-count park
-/// rate, and task-graph-table stall rate (per task, both managers).
+/// rate, and task-graph-table stall rate (per task, both managers), plus
+/// the DES kernel throughput gauge (simspeed events/sec, higher-is-better
+/// at a generous wall-clock tolerance).
 std::vector<WatchedRate> default_watched_rates();
 
 struct PerfdiffOptions {

@@ -13,9 +13,7 @@ Network::Network(const NocConfig& cfg, std::uint32_t endpoints,
       topo_(cfg.kind, endpoints, cfg.mesh_cols),
       clk_(cfg.freq_mhz > 0.0 ? cfg.freq_mhz : default_mhz),
       ideal_latency_(ideal_latency),
-      link_free_(topo_.link_count(), 0),
-      link_flits_(topo_.link_count(), 0),
-      link_busy_(topo_.link_count(), 0),
+      links_(topo_.link_count()),
       traffic_(static_cast<std::size_t>(endpoints) * endpoints, 0) {
   NEXUS_ASSERT_MSG(cfg.hop_cycles >= 0 && cfg.link_cycles >= 1,
                    "noc needs hop_cycles >= 0 and link_cycles >= 1");
@@ -46,13 +44,11 @@ void Network::bind_telemetry(telemetry::MetricRegistry& reg,
   m_stall_ticks_ = &reg.counter(telemetry::path_join(prefix, "stall_ps"));
   m_hops_ = &reg.histogram(telemetry::path_join(prefix, "hops"));
   m_in_flight_ = &reg.histogram(telemetry::path_join(prefix, "in_flight"));
-  m_link_flits_.assign(topo_.link_count(), nullptr);
-  m_link_busy_.assign(topo_.link_count(), nullptr);
   for (LinkId l = 0; l < topo_.link_count(); ++l) {
     const std::string link =
         telemetry::path_join(prefix, "link/" + topo_.link_label(l));
-    m_link_flits_[l] = &reg.counter(link + "/flits");
-    m_link_busy_[l] = &reg.counter(link + "/busy_ps");
+    links_[l].m_flits = &reg.counter(link + "/flits");
+    links_[l].m_busy = &reg.counter(link + "/busy_ps");
   }
 }
 
@@ -144,7 +140,8 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
   // backpressure an overloaded link produces — and a large-payload message
   // now really owns each link `flits` times longer than a bare record.
   const LinkId l = topo_.next_link(m.at, m.dst);
-  const Tick start = std::max(now, link_free_[l]);
+  LinkState& link = links_[l];
+  const Tick start = std::max(now, link.free_at);
   if (start > now) {
     ++blocked_flits_;
     stall_ticks_ += start - now;
@@ -152,12 +149,12 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
     telemetry::inc(m_stall_ticks_, static_cast<std::uint64_t>(start - now));
   }
   const Tick ser = cycles(cfg_.link_cycles * m.flits);
-  link_free_[l] = start + ser;
-  link_busy_[l] += ser;
-  link_flits_[l] += m.flits;
-  if (!m_link_flits_.empty()) {
-    m_link_flits_[l]->inc(m.flits);
-    m_link_busy_[l]->inc(static_cast<std::uint64_t>(ser));
+  link.free_at = start + ser;
+  link.busy += ser;
+  link.flits += m.flits;
+  if (link.m_flits != nullptr) {
+    link.m_flits->inc(m.flits);
+    link.m_busy->inc(static_cast<std::uint64_t>(ser));
   }
   ++m.hops;
   m.at = topo_.link_dst(l);
@@ -176,8 +173,12 @@ Network::Stats Network::stats() const {
   s.blocked_flits = blocked_flits_;
   s.stall_ticks = stall_ticks_;
   s.max_in_flight = max_in_flight_;
-  s.link_flits = link_flits_;
-  s.link_busy = link_busy_;
+  s.link_flits.reserve(links_.size());
+  s.link_busy.reserve(links_.size());
+  for (const LinkState& l : links_) {
+    s.link_flits.push_back(l.flits);
+    s.link_busy.push_back(l.busy);
+  }
   s.traffic = traffic_;
   return s;
 }

@@ -116,6 +116,19 @@ class Network final : public Component {
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
   void hop(Simulation& sim, std::uint32_t slot);
 
+  /// Everything a hop touches about one link, in one cache line: the
+  /// serialization horizon, the stats mirrors, and the telemetry pointers.
+  /// The old layout spread these over five parallel vectors, so a single
+  /// link acquisition paid up to five cache misses — this bookkeeping
+  /// dominates large-fabric runs, where hops outnumber messages ~6:1.
+  struct LinkState {
+    Tick free_at = 0;           ///< serialization horizon
+    Tick busy = 0;              ///< accumulated serialization time
+    std::uint64_t flits = 0;    ///< flits that crossed this link
+    telemetry::Counter* m_flits = nullptr;
+    telemetry::Counter* m_busy = nullptr;  ///< picoseconds
+  };
+
   NocConfig cfg_;
   Topology topo_;
   ClockDomain clk_;
@@ -125,7 +138,7 @@ class Network final : public Component {
   std::vector<Msg> msgs_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t in_flight_ = 0;
-  std::vector<Tick> link_free_;  ///< per-link serialization horizon
+  std::vector<LinkState> links_;  ///< per-link horizon + mirrors, hot
 
   // --- stats mirrors (always on; cheap integer updates) ---
   std::uint64_t messages_ = 0;
@@ -136,8 +149,6 @@ class Network final : public Component {
   std::uint64_t blocked_flits_ = 0;
   Tick stall_ticks_ = 0;
   std::uint64_t max_in_flight_ = 0;
-  std::vector<std::uint64_t> link_flits_;
-  std::vector<Tick> link_busy_;
   std::vector<std::uint64_t> traffic_;  ///< endpoints x endpoints, flits
 
   telemetry::Counter* m_messages_ = nullptr;
@@ -148,8 +159,6 @@ class Network final : public Component {
   telemetry::Counter* m_stall_ticks_ = nullptr;     ///< picoseconds
   telemetry::Histogram* m_hops_ = nullptr;          ///< per delivered message
   telemetry::Histogram* m_in_flight_ = nullptr;     ///< depth at each inject
-  std::vector<telemetry::Counter*> m_link_flits_;   ///< per link
-  std::vector<telemetry::Counter*> m_link_busy_;    ///< per link, ps
 };
 
 }  // namespace nexus::noc

@@ -30,7 +30,7 @@ class LatencyFifo {
   /// Push at time `now`. Caller must check !full().
   void push(Tick now, T v) {
     ring_.push(Entry{now + latency_, std::move(v)});
-    telemetry::record(m_depth_, ring_.size());
+    if (m_depth_ != nullptr) m_depth_->record(ring_.size());
   }
 
   /// Record post-push and post-pop depth into `h` (null detaches; no-op by
@@ -52,7 +52,7 @@ class LatencyFifo {
 
   T pop() {
     T v = ring_.pop().value;
-    telemetry::record(m_depth_, ring_.size());
+    if (m_depth_ != nullptr) m_depth_->record(ring_.size());
     return v;
   }
 

@@ -23,8 +23,7 @@ void Simulation::schedule(Tick t, std::uint32_t comp, std::uint32_t op,
 
 void Simulation::run() {
   while (!queue_.empty() && !stopped_) {
-    const Event ev = queue_.top();
-    queue_.pop();
+    const Event ev = queue_.pop();
     observe(ev);
     now_ = ev.t;
     ++processed_;
@@ -35,8 +34,7 @@ void Simulation::run() {
 bool Simulation::run_some(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_ && n < max_events) {
-    const Event ev = queue_.top();
-    queue_.pop();
+    const Event ev = queue_.pop();
     observe(ev);
     now_ = ev.t;
     ++processed_;

@@ -2,18 +2,28 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <string_view>
 #include <vector>
 
 #include "nexus/sim/component.hpp"
 #include "nexus/sim/event.hpp"
+#include "nexus/sim/event_queue.hpp"
 #include "nexus/telemetry/fwd.hpp"
 
 namespace nexus {
 
 class Simulation {
  public:
+  /// Pending events live in the process-default queue implementation (see
+  /// default_queue_kind(): NEXUS_SIM_QUEUE or the calendar queue). The pop
+  /// order — (time, issue seq), so same-tick events pop in insertion
+  /// order — is a queue-independent contract: every implementation yields
+  /// bit-identical schedules (differential-tested).
+  Simulation() : Simulation(default_queue_kind()) {}
+  explicit Simulation(QueueKind kind) : queue_(kind) {}
+
+  [[nodiscard]] QueueKind queue_kind() const { return queue_.kind(); }
+
   /// Register a component; returns its id for event addressing.
   /// The component must outlive the simulation. Not owned.
   std::uint32_t add_component(Component* c);
@@ -64,7 +74,7 @@ class Simulation {
   void observe_slow(const Event& ev);
   void sample_to(Tick t);
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  EventQueue queue_;
   std::vector<Component*> components_;
   Tick now_ = 0;
   std::uint64_t seq_ = 0;

@@ -11,9 +11,12 @@
 #include "nexus/nexussharp/nexussharp.hpp"
 #include "nexus/noc/placement.hpp"
 #include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/sim/event_queue.hpp"
 #include "nexus/sim/simulation.hpp"
 #include "nexus/task/trace.hpp"
 #include "nexus/task/trace_stats.hpp"
+#include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/writers.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 namespace nexus {
@@ -342,6 +345,136 @@ TEST(Determinism, TorusRunWithPlacementReproduces) {
     EXPECT_EQ(sa[i].task, sb[i].task) << "entry " << i;
     EXPECT_EQ(sa[i].start, sb[i].start) << "entry " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Queue-implementation sweep: the kernel's pop-order contract ((time, issue
+// seq), same-tick ties in insertion order) is queue-independent, so the
+// binary heap and the calendar queue must produce bit-identical schedules
+// AND bit-identical telemetry — not merely equal makespans — on every
+// configuration the stack can run. This is what pins the six pre-existing
+// BENCH records across the scheduler swap.
+// ---------------------------------------------------------------------------
+
+/// Restores the process-default queue kind on scope exit (the sweep must
+/// not leak a kind into unrelated suites).
+class ScopedQueueKind {
+ public:
+  explicit ScopedQueueKind(QueueKind k) : saved_(default_queue_kind()) {
+    set_default_queue_kind(k);
+  }
+  ~ScopedQueueKind() { set_default_queue_kind(saved_); }
+  ScopedQueueKind(const ScopedQueueKind&) = delete;
+  ScopedQueueKind& operator=(const ScopedQueueKind&) = delete;
+
+ private:
+  QueueKind saved_;
+};
+
+constexpr QueueKind kBothKinds[] = {QueueKind::kBinaryHeap,
+                                    QueueKind::kCalendar};
+
+/// Everything observable about one run: the result scalars, the full
+/// per-worker schedule, and the complete metric snapshot as JSON.
+struct ObservedRun {
+  Tick makespan = 0;
+  std::uint64_t events = 0;
+  std::vector<ScheduleEntry> schedule;
+  std::string metrics_json;
+};
+
+void expect_runs_identical(const ObservedRun& x, const ObservedRun& y,
+                           const char* what) {
+  EXPECT_EQ(x.makespan, y.makespan) << what;
+  EXPECT_EQ(x.events, y.events) << what;
+  EXPECT_EQ(x.metrics_json, y.metrics_json) << what;
+  ASSERT_EQ(x.schedule.size(), y.schedule.size()) << what;
+  for (std::size_t i = 0; i < x.schedule.size(); ++i) {
+    ASSERT_EQ(x.schedule[i].task, y.schedule[i].task) << what << " entry " << i;
+    ASSERT_EQ(x.schedule[i].worker, y.schedule[i].worker)
+        << what << " entry " << i;
+    ASSERT_EQ(x.schedule[i].start, y.schedule[i].start)
+        << what << " entry " << i;
+    ASSERT_EQ(x.schedule[i].end, y.schedule[i].end) << what << " entry " << i;
+  }
+}
+
+ObservedRun run_observed(const Trace& tr, noc::TopologyKind mgr_noc,
+                         noc::TopologyKind host_noc) {
+  ObservedRun out;
+  telemetry::MetricRegistry reg;
+  NexusSharpConfig cfg;
+  cfg.num_task_graphs = 4;
+  cfg.freq_mhz = 100.0;
+  cfg.noc.kind = mgr_noc;
+  NexusSharp mgr(cfg);
+  RuntimeConfig rc;
+  rc.workers = 8;
+  rc.noc.kind = host_noc;
+  rc.schedule_out = &out.schedule;
+  rc.metrics = &reg;
+  const RunResult r = run_trace(tr, mgr, rc);
+  out.makespan = r.makespan;
+  out.events = r.events;
+  out.metrics_json = telemetry::snapshot_json(reg.snapshot());
+  return out;
+}
+
+TEST(QueueKindSweep, RunTraceIdenticalUnderHeapAndCalendar) {
+  workloads::GaussianConfig gcfg;
+  gcfg.n = 60;
+  const Trace tr = workloads::make_gaussian(gcfg);
+  std::vector<ObservedRun> runs;
+  for (const QueueKind kind : kBothKinds) {
+    ScopedQueueKind guard(kind);
+    runs.push_back(run_observed(tr, noc::TopologyKind::kIdeal,
+                                noc::TopologyKind::kIdeal));
+  }
+  ASSERT_GT(runs[0].events, 1000u);
+  expect_runs_identical(runs[0], runs[1], "ideal-topology run");
+}
+
+TEST(QueueKindSweep, NocRunIdenticalUnderHeapAndCalendar) {
+  // Mesh manager fabric + ring host fabric: per-hop events and link-FIFO
+  // ordering are exactly where a queue that mis-breaks ties would diverge.
+  workloads::GaussianConfig gcfg;
+  gcfg.n = 60;
+  const Trace tr = workloads::make_gaussian(gcfg);
+  std::vector<ObservedRun> runs;
+  for (const QueueKind kind : kBothKinds) {
+    ScopedQueueKind guard(kind);
+    runs.push_back(
+        run_observed(tr, noc::TopologyKind::kMesh, noc::TopologyKind::kRing));
+  }
+  expect_runs_identical(runs[0], runs[1], "mesh+ring run");
+}
+
+TEST(QueueKindSweep, PlacementPipelineIdenticalUnderHeapAndCalendar) {
+  // The placement search consumes a traffic matrix measured by a NoC run;
+  // identical matrices across queue kinds mean identical search inputs, and
+  // the seeded search itself does not touch the DES at all.
+  const Trace tr = workloads::make_h264dec(workloads::h264_config(8));
+  std::vector<std::vector<std::uint64_t>> traffic;
+  for (const QueueKind kind : kBothKinds) {
+    ScopedQueueKind guard(kind);
+    NexusSharpConfig cfg;
+    cfg.num_task_graphs = 6;
+    cfg.freq_mhz = 100.0;
+    cfg.noc.kind = noc::TopologyKind::kMesh;
+    NexusSharp mgr(cfg);
+    run_trace(tr, mgr, RuntimeConfig{.workers = 16});
+    traffic.push_back(mgr.network().stats().traffic);
+  }
+  ASSERT_EQ(traffic[0], traffic[1]) << "traffic matrices diverged across kinds";
+
+  const std::uint32_t endpoints = sharp_noc_endpoints(6);
+  const noc::Topology topo(noc::TopologyKind::kMesh, endpoints);
+  const noc::TrafficMatrix m =
+      noc::TrafficMatrix::from_network(endpoints, traffic[0]);
+  const noc::PlacementResult a = noc::optimize_placement(topo, m);
+  const noc::PlacementResult b = noc::optimize_placement(topo, m);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.cost, b.cost);
 }
 
 }  // namespace

@@ -237,6 +237,54 @@ TEST(Perfdiff, DefaultWatchedGlobsReachBothManagerLayouts) {
   EXPECT_DOUBLE_EQ(r.metric_sum(rate_glob("retry_rate")), 64.0);
 }
 
+BenchRecord simspeed_fixture(double events_per_sec) {
+  BenchRecord r;
+  r.schema = 2;
+  r.bench = "simspeed";
+  r.workload = "storm-1000000";
+  r.manager = "kernel-calendar";
+  r.cores = 1;
+  r.makespan = 25970;
+  r.speedup = 4.0;
+  r.metrics = {{"simspeed/events_per_sec", events_per_sec},
+               {"simspeed/wall_us", 1e6}};
+  return r;
+}
+
+TEST(Perfdiff, HigherIsBetterRateRegressesOnCollapseOnly) {
+  // Throughput gauges gate in the opposite direction: shrinking past the
+  // (generous, wall-clock) tolerance fails, growth never does, and a
+  // machine-noise slowdown within the band passes.
+  const std::vector<BenchRecord> base{simspeed_fixture(4e6)};
+  // -50%: inside the 75% band — machines differ, not a regression.
+  EXPECT_TRUE(harness::perfdiff_compare(base, {simspeed_fixture(2e6)}).ok());
+  // +300%: faster is always fine.
+  EXPECT_TRUE(harness::perfdiff_compare(base, {simspeed_fixture(16e6)}).ok());
+  // -95%: the calendar queue collapsed to below a quarter of the baseline.
+  const PerfdiffResult res =
+      harness::perfdiff_compare(base, {simspeed_fixture(2e5)});
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("sim_events_per_sec"), std::string::npos);
+  EXPECT_NE(res.report.find("limit -75.0%"), std::string::npos);
+}
+
+TEST(Perfdiff, PerRateToleranceOverridesTheGlobalDefault) {
+  // The same -50% shrink fails once the per-rate band is tightened; an
+  // overhead-direction rate with a wide override tolerates what the global
+  // 10% default would flag.
+  const std::vector<BenchRecord> base{simspeed_fixture(4e6)};
+  PerfdiffOptions opts;
+  opts.watched = {{"sim_events_per_sec", "simspeed/events_per_sec", true, 25.0}};
+  EXPECT_FALSE(harness::perfdiff_compare(base, {simspeed_fixture(2e6)}, opts).ok());
+
+  const std::vector<BenchRecord> cbase{fixture(1000, 40)};
+  const std::vector<BenchRecord> ccand{fixture(1000, 55)};  // +37.5%
+  EXPECT_FALSE(harness::perfdiff_compare(cbase, ccand).ok());
+  PerfdiffOptions wide;
+  wide.watched = {{"conflict_rate", "**/arbiter/conflicts", false, 50.0}};
+  EXPECT_TRUE(harness::perfdiff_compare(cbase, ccand, wide).ok());
+}
+
 TEST(Perfdiff, ZeroBaselineRateFlagsNewConflicts) {
   const std::vector<BenchRecord> base{fixture(1000, 0)};
   const std::vector<BenchRecord> cand{fixture(1000, 3)};
