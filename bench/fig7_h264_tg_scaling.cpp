@@ -13,6 +13,9 @@
 //                       run records (Nexus# 1/6 TGs at test frequency, 8 and
 //                       32 cores per granularity) in the BENCH_*.json schema
 //        --timeline     attach sampled sim-time timelines to --json records
+//        --trace=PATH   instead of the figure tables, write a Chrome trace
+//                       (ui.perfetto.dev) of one representative run —
+//                       h264dec-8x8-10f under Nexus# 6 TGs on 32 cores
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,7 +33,8 @@ int main(int argc, char** argv) {
                      {"csv", "emit csv"},
                      {"granularity", "only this macroblock grouping (1/2/4/8)"},
                      {"json", "write BENCH-schema run records to this file"},
-                     {"timeline", "attach sim-time timelines to --json records"}});
+                     {"timeline", "attach sim-time timelines to --json records"},
+                     {"trace", "write a Chrome trace of one run to this file"}});
   const bool quick = flags.get_bool("quick", false);
   const bool csv = flags.get_bool("csv", false);
 
@@ -39,6 +43,16 @@ int main(int argc, char** argv) {
     groups = {static_cast<int>(flags.get_int("granularity", 1))};
   } else if (quick) {
     groups = {1, 8};
+  }
+
+  if (flags.has("trace")) {
+    // One representative lifecycle trace: the paper's best configuration
+    // (6 TGs at its Table I test frequency) on the coarsest granularity.
+    return write_chrome_trace(
+               workloads::make_h264dec(workloads::h264_config(8)),
+               ManagerSpec::nexussharp(6), 32, {}, flags.get("trace", ""))
+               ? 0
+               : 2;
   }
 
   if (flags.has("json")) {

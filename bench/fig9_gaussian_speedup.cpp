@@ -14,6 +14,10 @@
 //                    run records (Nexus++, Nexus# 1/2 TGs at 100 MHz, 8 and
 //                    64 cores per matrix size) in the BENCH_*.json schema
 //        --timeline  attach sampled sim-time timelines to --json records
+//        --trace=PATH instead of the figure tables, write a Chrome trace
+//                    (ui.perfetto.dev) of one representative run — the
+//                    dummy-entry worst case gaussian-250 under Nexus# 2 TGs
+//                    at 100 MHz on 8 cores
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -31,7 +35,8 @@ int main(int argc, char** argv) {
                      {"max-n", "largest matrix size"},
                      {"csv", "emit csv"},
                      {"json", "write BENCH-schema run records to this file"},
-                     {"timeline", "attach sim-time timelines to --json records"}});
+                     {"timeline", "attach sim-time timelines to --json records"},
+                     {"trace", "write a Chrome trace of one run to this file"}});
   const bool quick = flags.get_bool("quick", false);
   const bool csv = flags.get_bool("csv", false);
   const auto max_n = flags.get_int("max-n", 3000);
@@ -40,6 +45,18 @@ int main(int argc, char** argv) {
   if (quick) sizes = {250, 1000};
   const std::vector<std::uint32_t> cores =
       quick ? std::vector<std::uint32_t>{1, 8, 64} : paper_cores_64();
+
+  if (flags.has("trace")) {
+    // One representative lifecycle trace: the benchmark's headline
+    // configuration (Nexus# 2 TGs at 100 MHz) on the finest matrix, where
+    // the dummy-entry mechanism is busiest.
+    ManagerSpec spec = ManagerSpec::nexussharp(2, 100.0);
+    spec.label = "nexus#-2TG@100MHz";
+    return write_chrome_trace(workloads::make_gaussian({.n = 250}), spec, 8,
+                              {}, flags.get("trace", ""))
+               ? 0
+               : 2;
+  }
 
   if (flags.has("json")) {
     // Trajectory records against the paper's baseline (Nexus++ single-core):

@@ -7,6 +7,9 @@
 // registry attached and writes a JSON array of records
 //   {bench, workload, manager, cores, makespan, speedup, metrics{...}}
 // — the machine-readable seed for the BENCH_table2.json perf trajectory.
+//
+// With --trace=<path> it instead writes a Chrome trace (ui.perfetto.dev) of
+// one run — sparselu (or the first --workloads entry) under Nexus# 6 TGs.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -60,6 +63,7 @@ int main(int argc, char** argv) {
   const Flags flags(
       argc, argv,
       {{"json", "write per-workload Nexus# run records to this file"},
+       {"trace", "write a Chrome trace of one run to this file"},
        {"cores", "worker cores for the --json runs (default 32)"},
        {"workloads",
         "comma-separated subset of Table II workloads to run for --json "
@@ -82,6 +86,21 @@ int main(int argc, char** argv) {
                deps, row.deps});
   }
   t.print();
+
+  if (flags.has("trace")) {
+    const std::vector<std::string> sel = split_csv(flags.get("workloads", ""));
+    const std::string name = sel.empty() ? "sparselu" : sel.front();
+    if (!is_workload(name)) {
+      std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+      return 2;
+    }
+    const auto c = static_cast<std::uint32_t>(flags.get_int("cores", 32));
+    return harness::write_chrome_trace(make_workload(name),
+                                       harness::ManagerSpec::nexussharp(6), c,
+                                       {}, flags.get("trace", ""))
+               ? 0
+               : 2;
+  }
 
   if (!flags.has("json")) return 0;
 

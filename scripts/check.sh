@@ -11,6 +11,9 @@
 #   scripts/check.sh --diff          # --bench, then nexus-perfdiff each
 #                                    # regenerated BENCH_*.json against the
 #                                    # pre-run copy (nonzero on regression)
+#   scripts/check.sh --trace         # additionally export a fig9 Chrome
+#                                    # trace and validate it with
+#                                    # scripts/validate_trace.py
 #
 # Exit code is nonzero if any configure, build, test, smoke, or diff step
 # fails.
@@ -21,12 +24,14 @@ cd "$(dirname "$0")/.."
 SANITIZE=0
 BENCH=0
 DIFF=0
+TRACE=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --sanitize) SANITIZE=1 ;;
     --bench) BENCH=1 ;;
     --diff) BENCH=1; DIFF=1 ;;
+    --trace) TRACE=1 ;;
     --label) LABEL="${2:?--label needs an argument (unit|integration)}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -121,6 +126,15 @@ if [[ "${BENCH}" -eq 1 ]]; then
       fi
     done
   fi
+fi
+
+if [[ "${TRACE}" -eq 1 ]]; then
+  # Export one representative lifecycle trace and validate it: JSON
+  # well-formed, events sorted, async phases balanced, and the embedded
+  # critical-path attribution tiling [0, makespan] exactly.
+  echo "==> trace smoke (fig9 Chrome trace export + validation)"
+  build/bench/fig9_gaussian_speedup --trace build/trace_fig9.json
+  python3 scripts/validate_trace.py build/trace_fig9.json
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON exported by nexus (trace_export).
+
+Stdlib-only, so CI can gate on trace well-formedness without extra deps:
+
+  python3 scripts/validate_trace.py <trace.json>
+
+Checks:
+  1. The document is well-formed JSON: an object with a "traceEvents" array
+     and an "otherData" object carrying "makespan_ps".
+  2. Events are sorted by timestamp (metadata events excepted) and every
+     complete ("X") event has a non-negative duration.
+  3. Async lifecycle begins/ends balance per (id, name) pair and no phase
+     ends before it begins.
+  4. The embedded critical-path attribution tiles [0, makespan] exactly:
+     segments are contiguous from 0 to makespan_ps and the per-phase totals
+     sum to makespan_ps — the "attribution sums to makespan" invariant.
+
+Exit status: 0 valid, 1 invalid, 2 usage/IO error.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"validate_trace: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not well-formed JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("document is not an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is not a non-empty array")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or "makespan_ps" not in other:
+        fail("otherData.makespan_ps missing")
+    makespan = other["makespan_ps"]
+
+    # --- event stream sanity -------------------------------------------
+    last_ts = None
+    open_phases = {}  # (id, name) -> open begin count
+    n_slices = n_async = n_flows = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"event {i} has no phase type")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event {i} ({ev.get('name')}) has bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"event {i} ({ev.get('name')}) out of order: "
+                 f"ts {ts} after {last_ts}")
+        last_ts = ts
+        if ph == "X":
+            n_slices += 1
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"slice {i} ({ev.get('name')}) has bad dur {dur!r}")
+        elif ph in ("b", "e"):
+            n_async += 1
+            key = (ev.get("id"), ev.get("name"))
+            if ph == "b":
+                open_phases[key] = open_phases.get(key, 0) + 1
+            else:
+                if open_phases.get(key, 0) <= 0:
+                    fail(f"async end before begin for id={key[0]} "
+                         f"phase={key[1]} at ts {ts}")
+                open_phases[key] -= 1
+        elif ph in ("s", "t", "f"):
+            n_flows += 1
+    unclosed = {k: v for k, v in open_phases.items() if v != 0}
+    if unclosed:
+        k, v = next(iter(unclosed.items()))
+        fail(f"{len(unclosed)} unbalanced async phase(s), e.g. id={k[0]} "
+             f"phase={k[1]} left open {v} time(s)")
+
+    # --- critical-path attribution -------------------------------------
+    cp = other.get("critical_path")
+    if cp is not None:
+        totals = cp.get("totals_ps")
+        segments = cp.get("segments")
+        if not isinstance(totals, dict) or not isinstance(segments, list):
+            fail("critical_path missing totals_ps or segments")
+        total = sum(totals.values())
+        if total != makespan:
+            fail(f"critical-path phase totals sum to {total} ps, "
+                 f"not the makespan {makespan} ps")
+        at = 0
+        seg_totals = {}
+        for j, seg in enumerate(segments):
+            f_, t_ = seg.get("from_ps"), seg.get("to_ps")
+            if f_ != at:
+                fail(f"segment {j} starts at {f_} ps, expected {at} ps "
+                     f"(segments must tile [0, makespan] contiguously)")
+            if t_ < f_:
+                fail(f"segment {j} ends before it starts ({t_} < {f_})")
+            seg_totals[seg.get("phase")] = \
+                seg_totals.get(seg.get("phase"), 0) + (t_ - f_)
+            at = t_
+        if at != makespan:
+            fail(f"segments end at {at} ps, not the makespan {makespan} ps")
+        for phase, t in seg_totals.items():
+            if totals.get(phase, 0) != t:
+                fail(f"phase {phase}: totals_ps says {totals.get(phase, 0)} "
+                     f"but segments sum to {t}")
+
+    print(f"validate_trace: OK: {path}: {n_slices} slices, "
+          f"{n_async} lifecycle events, {n_flows} flow bindings, "
+          f"makespan {makespan} ps"
+          + ("" if cp is None else ", critical path tiles exactly"))
+
+
+if __name__ == "__main__":
+    main()

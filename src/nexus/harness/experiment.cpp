@@ -9,6 +9,7 @@
 #include "nexus/runtime/ideal_manager.hpp"
 #include "nexus/runtime/list_scheduler.hpp"
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace_export.hpp"
 #include "nexus/telemetry/writers.hpp"
 
 namespace nexus::harness {
@@ -111,7 +112,8 @@ Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base,
                           bool collect_metrics,
-                          const telemetry::TimelineConfig* timeline) {
+                          const telemetry::TimelineConfig* timeline,
+                          bool collect_trace) {
   RuntimeConfig rc = base;
   rc.workers = cores;
   telemetry::MetricRegistry reg;
@@ -120,6 +122,11 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
   if (timeline != nullptr) {
     rec = std::make_unique<telemetry::TimelineRecorder>(reg, *timeline);
     rc.timeline = rec.get();
+  }
+  std::unique_ptr<telemetry::TraceRecorder> spans;
+  if (collect_trace) {
+    spans = std::make_unique<telemetry::TraceRecorder>();
+    rc.trace = spans.get();
   }
   RunReport rep;
   rep.topology = topology_label(spec, base);
@@ -150,7 +157,28 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
     rep.metrics = std::make_shared<telemetry::Snapshot>(reg.snapshot());
   if (rec != nullptr)
     rep.timeline = std::make_shared<telemetry::Timeline>(rec->freeze());
+  if (spans != nullptr)
+    rep.trace = std::make_shared<telemetry::TraceData>(spans->freeze());
   return rep;
+}
+
+bool write_chrome_trace(const Trace& trace, const ManagerSpec& spec,
+                        std::uint32_t cores, const RuntimeConfig& base,
+                        const std::string& path) {
+  const RunReport rep = run_once_report(trace, spec, cores, base,
+                                        /*collect_metrics=*/false,
+                                        /*timeline=*/nullptr,
+                                        /*collect_trace=*/true);
+  if (!telemetry::write_text_file(path,
+                                  telemetry::chrome_trace_json(*rep.trace))) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote Chrome trace (%zu task spans, %zu NoC messages, "
+              "%.3f ms makespan) to %s\n",
+              rep.trace->tasks.size(), rep.trace->messages.size(),
+              to_ms(rep.result.makespan), path.c_str());
+  return true;
 }
 
 Series sweep(const Trace& trace, const ManagerSpec& spec,
@@ -214,7 +242,7 @@ std::string metrics_report_json(std::string_view bench, std::string_view workloa
                                 std::string_view placement) {
   telemetry::JsonWriter w;
   w.begin_object();
-  w.kv("schema", 2);
+  w.kv("schema", 3);
   w.kv("bench", bench);
   w.kv("workload", workload);
   w.kv("manager", manager);

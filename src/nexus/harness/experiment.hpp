@@ -16,6 +16,7 @@
 #include "nexus/task/trace.hpp"
 #include "nexus/telemetry/snapshot.hpp"
 #include "nexus/telemetry/timeline.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus::harness {
 
@@ -81,6 +82,8 @@ struct RunReport {
   std::string placement = "default";  ///< see placement_label()
   std::shared_ptr<const telemetry::Snapshot> metrics;  ///< null unless collected
   std::shared_ptr<const telemetry::Timeline> timeline;  ///< null unless sampled
+  /// Frozen lifecycle-span trace; null unless `collect_trace` was set.
+  std::shared_ptr<const telemetry::TraceData> trace;
 };
 
 /// The BENCH-record topology label of a run: the manager-side NoC kind when
@@ -96,11 +99,23 @@ std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base);
 /// per call; the ideal manager runs through the DES so runtime metrics
 /// exist for it too). A non-null `timeline` config attaches a
 /// TimelineRecorder for the run (implies metric collection) and freezes the
-/// sampled series into the report.
+/// sampled series into the report. With `collect_trace` a TraceRecorder is
+/// attached for the run and its frozen span graph lands in RunReport::trace
+/// (ready for chrome_trace_json / critical_path).
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base = {},
                           bool collect_metrics = true,
-                          const telemetry::TimelineConfig* timeline = nullptr);
+                          const telemetry::TimelineConfig* timeline = nullptr,
+                          bool collect_trace = false);
+
+/// Run `spec` once with a TraceRecorder attached and write the span graph
+/// as a Chrome trace-event JSON to `path` (see telemetry/trace_export.hpp;
+/// the critical-path attribution rides along under otherData). Prints a
+/// one-line summary on success or an error to stderr on IO failure — the
+/// shared implementation of the bench binaries' --trace flag.
+bool write_chrome_trace(const Trace& trace, const ManagerSpec& spec,
+                        std::uint32_t cores, const RuntimeConfig& base,
+                        const std::string& path);
 
 /// Sweep a core-count axis. `base.workers` is overwritten per point; with
 /// `collect_metrics` every point carries a telemetry snapshot, and a
@@ -116,7 +131,7 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
 telemetry::TimelineConfig bench_timeline_config();
 
 /// One machine-readable per-run record for the BENCH_*.json trajectory:
-/// {"schema": 2, "bench", "workload", "manager", "cores", "makespan",
+/// {"schema": 3, "bench", "workload", "manager", "cores", "makespan",
 ///  "speedup", "metrics": {...}} — makespan in integer picoseconds, metrics
 /// the flat snapshot object ({} when `metrics` is null). A non-null
 /// `timeline` appends a "timeline" object (see append_timeline for its

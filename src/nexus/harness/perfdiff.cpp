@@ -1,6 +1,7 @@
 #include "nexus/harness/perfdiff.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 
@@ -28,6 +29,52 @@ double pct_change(double base, double cand) {
 /// Rates are per-task ratios; treat differences below this as exact noise
 /// (a zero-conflict baseline should not flag on a 1e-12 artifact).
 constexpr double kRateEps = 1e-9;
+
+/// Decode a metrics_report_json "timeline" object (see append_timeline for
+/// the schema) back into a Timeline, undoing the delta encoding.
+bool parse_timeline(const telemetry::JsonValue& v, telemetry::Timeline* out,
+                    bool* present, std::string* error) {
+  const telemetry::JsonValue* f = v.find("interval_ps");
+  out->interval = f != nullptr ? f->int_or(0) : 0;
+  const bool delta =
+      (f = v.find("encoding")) == nullptr || f->str_or("delta") == "delta";
+  f = v.find("t");
+  if (f == nullptr || !f->is_array()) {
+    if (error != nullptr) *error = "timeline is missing the \"t\" axis";
+    return false;
+  }
+  std::vector<std::int64_t> t;
+  t.reserve(f->array.size());
+  for (const telemetry::JsonValue& e : f->array) t.push_back(e.int_or(0));
+  if (delta) t = telemetry::delta_decode(t);
+  out->t.assign(t.begin(), t.end());
+  f = v.find("series");
+  if (f != nullptr && f->is_object()) {
+    for (const auto& [path, sv] : f->object) {
+      telemetry::TimelineSeries s;
+      s.path = path;
+      const telemetry::JsonValue* kind = sv.find("kind");
+      s.kind = kind != nullptr && kind->str_or("counter") == "gauge"
+                   ? telemetry::MetricKind::kGauge
+                   : telemetry::MetricKind::kCounter;
+      const telemetry::JsonValue* vals = sv.find("v");
+      if (vals == nullptr || !vals->is_array()) {
+        if (error != nullptr)
+          *error = "timeline series \"" + path + "\" has no value array";
+        return false;
+      }
+      s.v.reserve(vals->array.size());
+      for (const telemetry::JsonValue& e : vals->array)
+        s.v.push_back(e.int_or(0));
+      // Mirrors append_timeline: only counter-kind series are delta-coded.
+      if (delta && s.kind == telemetry::MetricKind::kCounter)
+        s.v = telemetry::delta_decode(s.v);
+      out->series.push_back(std::move(s));
+    }
+  }
+  *present = true;
+  return true;
+}
 
 bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
                       std::string* error) {
@@ -74,8 +121,10 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
       if (mv.is_number()) {
         out->metrics.emplace_back(path, mv.number);
       } else if (mv.is_object()) {
-        // Histogram: flatten the scalar summary fields.
-        for (const char* f : {"count", "sum", "min", "max", "mean"}) {
+        // Histogram: flatten the scalar summary fields (the quantiles are
+        // absent from schema <= 2 records and simply contribute nothing).
+        for (const char* f : {"count", "sum", "min", "max", "mean", "p50",
+                              "p95", "p99", "p999"}) {
           const telemetry::JsonValue* hv = mv.find(f);
           if (hv != nullptr && hv->is_number())
             out->metrics.emplace_back(path + std::string(":") + f, hv->number);
@@ -83,6 +132,11 @@ bool parse_one_record(const telemetry::JsonValue& v, BenchRecord* out,
       }
     }
   }
+
+  const telemetry::JsonValue* tl = v.find("timeline");
+  if (tl != nullptr && tl->is_object() &&
+      !parse_timeline(*tl, &out->timeline, &out->has_timeline, error))
+    return false;
   return true;
 }
 
@@ -154,6 +208,75 @@ std::vector<WatchedRate> default_watched_rates() {
   };
 }
 
+namespace {
+
+double timeline_tol_for(const PerfdiffOptions& opts, std::string_view path) {
+  for (const auto& [glob, pct] : opts.timeline_tolerances)
+    if (telemetry::path_glob_match(glob, path)) return pct;
+  return opts.timeline_tolerance_pct;
+}
+
+/// Point-by-point timeline diff: one detail line per diverging series,
+/// carrying the sim-time of its *first* divergence. Returns true if
+/// anything diverged.
+bool diff_timelines(const PerfdiffOptions& opts, const telemetry::Timeline& b,
+                    const telemetry::Timeline& c,
+                    std::vector<std::string>* details) {
+  bool bad = false;
+  if (b.interval != c.interval) {
+    bad = true;
+    details->push_back(
+        fmt("timeline interval %lld -> %lld ps (coarsening diverged)",
+            static_cast<long long>(b.interval),
+            static_cast<long long>(c.interval)));
+  }
+  const std::size_t rows = std::min(b.t.size(), c.t.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (b.t[i] != c.t[i]) {
+      bad = true;
+      details->push_back(fmt("timeline t-axis diverges at row %zu: %s -> %s",
+                             i, fmt_ms(b.t[i]).c_str(),
+                             fmt_ms(c.t[i]).c_str()));
+      break;
+    }
+  }
+  if (b.t.size() != c.t.size()) {
+    bad = true;
+    details->push_back(fmt("timeline rows %zu -> %zu", b.t.size(),
+                           c.t.size()));
+  }
+  for (const auto& cs : c.series) {
+    const telemetry::TimelineSeries* bs = b.find(cs.path);
+    if (bs == nullptr) continue;  // fresh series (new metric): never a failure
+    const double tol = timeline_tol_for(opts, cs.path);
+    const std::size_t n = std::min({bs->v.size(), cs.v.size(), rows});
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto bv = static_cast<double>(bs->v[i]);
+      const auto cv = static_cast<double>(cs.v[i]);
+      if (std::fabs(cv - bv) > std::fabs(bv) * tol / 100.0 + kRateEps) {
+        bad = true;
+        details->push_back(
+            fmt("timeline %s first diverges at t=%s: %lld -> %lld "
+                "(tolerance %.1f%%)",
+                cs.path.c_str(), fmt_ms(b.t[i]).c_str(),
+                static_cast<long long>(bs->v[i]),
+                static_cast<long long>(cs.v[i]), tol));
+        break;
+      }
+    }
+  }
+  for (const auto& bs : b.series) {
+    if (c.find(bs.path) == nullptr) {
+      bad = true;
+      details->push_back(
+          fmt("timeline series %s missing from candidate", bs.path.c_str()));
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
 PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
                                 const std::vector<BenchRecord>& candidate,
                                 const PerfdiffOptions& opts) {
@@ -218,6 +341,17 @@ PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
                            rate.name.c_str(), b, c, pct_change(b, c),
                            rate.higher_is_better ? "-" : "+", tol)
                      : fmt("%s 0 -> %.6g (was zero)", rate.name.c_str(), c));
+      }
+    }
+
+    if (opts.compare_timelines) {
+      if (base.has_timeline && cand.has_timeline) {
+        if (diff_timelines(opts, base.timeline, cand.timeline, &details))
+          regressed = true;
+      } else if (base.has_timeline && !cand.has_timeline) {
+        regressed = true;
+        details.emplace_back(
+            "timeline present in baseline but missing from candidate");
       }
     }
 

@@ -16,9 +16,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "nexus/telemetry/json.hpp"
+#include "nexus/telemetry/timeline.hpp"
 
 namespace nexus::harness {
 
@@ -26,11 +28,13 @@ namespace nexus::harness {
 /// written by metrics_report_json). Records without the field are treated as
 /// schema 1 (the PR-2 format); anything newer is a hard parse error so
 /// future format changes are detected instead of mis-read.
-inline constexpr int kBenchRecordSchema = 2;
+inline constexpr int kBenchRecordSchema = 3;
 
 /// One flattened BENCH_*.json record. Histogram metrics contribute
-/// "<path>:count/:sum/:min/:max/:mean" scalar entries; timelines are not
-/// compared (they describe *when*, not *how much*) and are skipped.
+/// "<path>:count/:sum/:min/:max/:mean" scalar entries (schema 3 adds
+/// ":p50/:p95/:p99/:p999"); timeline objects are decoded into `timeline`
+/// but only compared when PerfdiffOptions::compare_timelines is set (they
+/// describe *when*, not *how much*, so the default diff skips them).
 struct BenchRecord {
   int schema = 1;
   std::string bench;
@@ -46,6 +50,10 @@ struct BenchRecord {
   double speedup = 0.0;
   /// Flattened scalar metrics, in record order.
   std::vector<std::pair<std::string, double>> metrics;
+  /// Decoded sim-time timeline (delta-encoding undone); empty axes when the
+  /// record carried none.
+  bool has_timeline = false;
+  telemetry::Timeline timeline;
 
   /// Join key for matching baseline and candidate records.
   [[nodiscard]] std::string key() const;
@@ -93,6 +101,16 @@ struct PerfdiffOptions {
   /// absolute epsilon so zero-baselines do not flag on rounding noise).
   double metric_tolerance_pct = 10.0;
   std::vector<WatchedRate> watched = default_watched_rates();
+  /// Compare the records' sampled timelines point by point (the series are
+  /// sim-time-deterministic, so the default per-series tolerance is exact).
+  /// A diverging series is reported with the sim-time of its first
+  /// divergence — *when* a run went off-trajectory, not just that it did.
+  bool compare_timelines = false;
+  /// Default per-point tolerance for timeline values, in percent of the
+  /// baseline value (0 = exact).
+  double timeline_tolerance_pct = 0.0;
+  /// Per-series overrides: first glob matching the series path wins.
+  std::vector<std::pair<std::string, double>> timeline_tolerances;
   /// Only emit regression/summary lines, not per-record ok lines.
   bool quiet = false;
 };

@@ -3,19 +3,23 @@
 #include <algorithm>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus::hw {
 
-void DepCountsTable::set(TaskId id, std::uint32_t count) {
+void DepCountsTable::set(TaskId id, std::uint32_t count,
+                         telemetry::TraceTick at) {
   NEXUS_ASSERT(count >= 1);
   const bool fresh = counts_.emplace(id, count).second;
   NEXUS_ASSERT_MSG(fresh, "dep count already present");
   peak_ = std::max<std::uint64_t>(peak_, counts_.size());
   telemetry::inc(m_parked_);
   telemetry::record(m_occupancy_, counts_.size());
+  if (trace_ != nullptr)
+    trace_->counter(track_, at, static_cast<std::int64_t>(counts_.size()));
 }
 
-bool DepCountsTable::decrement(TaskId id) {
+bool DepCountsTable::decrement(TaskId id, telemetry::TraceTick at) {
   const auto it = counts_.find(id);
   NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
   NEXUS_ASSERT(it->second > 0);
@@ -23,6 +27,8 @@ bool DepCountsTable::decrement(TaskId id) {
   if (--it->second == 0) {
     counts_.erase(it);
     telemetry::inc(m_released_);
+    if (trace_ != nullptr)
+      trace_->counter(track_, at, static_cast<std::int64_t>(counts_.size()));
     return true;
   }
   return false;
@@ -34,6 +40,12 @@ void DepCountsTable::bind_telemetry(telemetry::MetricRegistry& reg,
   m_hits_ = &reg.counter(telemetry::path_join(prefix, "hits"));
   m_released_ = &reg.counter(telemetry::path_join(prefix, "released"));
   m_occupancy_ = &reg.histogram(telemetry::path_join(prefix, "occupancy"));
+}
+
+void DepCountsTable::bind_trace(telemetry::TraceRecorder* trace,
+                                std::string_view track) {
+  trace_ = trace;
+  track_ = std::string(track);
 }
 
 }  // namespace nexus::hw

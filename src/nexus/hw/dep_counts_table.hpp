@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
@@ -16,12 +17,13 @@ namespace nexus::hw {
 
 class DepCountsTable {
  public:
-  /// Park a task with `count` outstanding dependences (count >= 1).
-  void set(TaskId id, std::uint32_t count);
+  /// Park a task with `count` outstanding dependences (count >= 1). `at`
+  /// stamps the trace occupancy sample; irrelevant without a recorder.
+  void set(TaskId id, std::uint32_t count, telemetry::TraceTick at = 0);
 
   /// Satisfy one dependence; returns true when the task became ready (its
   /// entry is then removed).
-  bool decrement(TaskId id);
+  bool decrement(TaskId id, telemetry::TraceTick at = 0);
 
   [[nodiscard]] bool contains(TaskId id) const { return counts_.count(id) > 0; }
   [[nodiscard]] std::size_t size() const { return counts_.size(); }
@@ -30,9 +32,15 @@ class DepCountsTable {
   /// Register park/hit metrics under `prefix` (cold path; call before a run).
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
+  /// Attach a trace recorder; table size lands on counter track `track`
+  /// at each park/release.
+  void bind_trace(telemetry::TraceRecorder* trace, std::string_view track);
+
  private:
   std::unordered_map<TaskId, std::uint32_t> counts_;
   std::uint64_t peak_ = 0;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::string track_;
 
   telemetry::Counter* m_parked_ = nullptr;     ///< tasks parked with a count
   telemetry::Counter* m_hits_ = nullptr;       ///< decrements applied

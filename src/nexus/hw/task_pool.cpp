@@ -3,10 +3,11 @@
 #include <algorithm>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus::hw {
 
-void TaskPool::insert(const TaskDescriptor& t) {
+void TaskPool::insert(const TaskDescriptor& t, telemetry::TraceTick at) {
   NEXUS_ASSERT_MSG(!full(), "task pool overflow");
   const bool fresh = slots_.emplace(t.id, t).second;
   NEXUS_ASSERT_MSG(fresh, "task already pooled");
@@ -14,6 +15,8 @@ void TaskPool::insert(const TaskDescriptor& t) {
   telemetry::inc(m_inserts_);
   telemetry::record(m_occupancy_, slots_.size());
   telemetry::set(m_peak_, static_cast<std::int64_t>(peak_));
+  if (trace_ != nullptr)
+    trace_->counter(track_, at, static_cast<std::int64_t>(slots_.size()));
 }
 
 const TaskDescriptor& TaskPool::get(TaskId id) const {
@@ -22,10 +25,12 @@ const TaskDescriptor& TaskPool::get(TaskId id) const {
   return it->second;
 }
 
-void TaskPool::erase(TaskId id) {
+void TaskPool::erase(TaskId id, telemetry::TraceTick at) {
   const auto n = slots_.erase(id);
   NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
   telemetry::inc(m_retired_);
+  if (trace_ != nullptr)
+    trace_->counter(track_, at, static_cast<std::int64_t>(slots_.size()));
 }
 
 void TaskPool::bind_telemetry(telemetry::MetricRegistry& reg,
@@ -34,6 +39,12 @@ void TaskPool::bind_telemetry(telemetry::MetricRegistry& reg,
   m_retired_ = &reg.counter(telemetry::path_join(prefix, "retired"));
   m_peak_ = &reg.gauge(telemetry::path_join(prefix, "peak"));
   m_occupancy_ = &reg.histogram(telemetry::path_join(prefix, "occupancy"));
+}
+
+void TaskPool::bind_trace(telemetry::TraceRecorder* trace,
+                          std::string_view track) {
+  trace_ = trace;
+  track_ = std::string(track);
 }
 
 }  // namespace nexus::hw

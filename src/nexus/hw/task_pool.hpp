@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 
@@ -28,20 +29,28 @@ class TaskPool {
   [[nodiscard]] bool full() const { return slots_.size() >= capacity_; }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
 
-  void insert(const TaskDescriptor& t);
+  /// `at` stamps the trace occupancy sample (sim time of the mutation);
+  /// irrelevant unless a TraceRecorder is bound.
+  void insert(const TaskDescriptor& t, telemetry::TraceTick at = 0);
 
   [[nodiscard]] const TaskDescriptor& get(TaskId id) const;
 
-  void erase(TaskId id);
+  void erase(TaskId id, telemetry::TraceTick at = 0);
 
   /// Register occupancy/lifecycle metrics under `prefix` (cold path; call
   /// once before a run). Without this call the pool records nothing.
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
+  /// Attach a trace recorder; occupancy samples land on counter track
+  /// `track` at each insert/erase.
+  void bind_trace(telemetry::TraceRecorder* trace, std::string_view track);
+
  private:
   std::size_t capacity_;
   std::unordered_map<TaskId, TaskDescriptor> slots_;
   std::uint64_t peak_ = 0;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::string track_;
 
   telemetry::Counter* m_inserts_ = nullptr;   ///< descriptors accepted
   telemetry::Counter* m_retired_ = nullptr;   ///< slots reclaimed (evictions)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus {
 
@@ -22,6 +23,14 @@ void NexusPP::bind_telemetry(telemetry::MetricRegistry& reg) {
   m_ready_out_ = &reg.counter("nexus++/ready_out");
 }
 
+void NexusPP::bind_trace(telemetry::TraceRecorder* trace) {
+  trace_ = trace;
+  pool_.bind_trace(trace, "nexus++/pool");
+  depcounts_.bind_trace(trace, "nexus++/dep_counts");
+  net_->bind_trace(trace, "nexus++/noc",
+                   {"insert", "finish", "pump", "ready", "wb"});
+}
+
 void NexusPP::attach(Simulation& sim, RuntimeHost* host) {
   NEXUS_ASSERT(host != nullptr);
   host_ = host;
@@ -36,7 +45,7 @@ Tick NexusPP::submit(Simulation& sim, const TaskDescriptor& task) {
   }
   ++tasks_in_;
   telemetry::inc(m_tasks_in_);
-  pool_.insert(task);
+  pool_.insert(task, sim.now());
   // Input Parser: the whole task must be received before the insert stage
   // sees it (header + two packets per address), then crosses the stage FIFO.
   const Tick recv_done = io_.acquire(
@@ -118,7 +127,7 @@ void NexusPP::pump(Simulation& sim) {
   if (active_insert_ && insert_stalled_) return;  // wait for a finish
 
   if (!active_insert_ && !insert_queue_.empty()) {
-    active_insert_ = InsertJob{insert_queue_.front(), 0, 0};
+    active_insert_ = InsertJob{insert_queue_.front(), 0, 0, now};
     insert_queue_.pop_front();
     port_free_ = now + cycles(cfg_.insert_base);
     insert_busy_ += cycles(cfg_.insert_base);
@@ -155,10 +164,14 @@ bool NexusPP::continue_insert(Simulation& sim) {
     ++job.next_param;
   }
   insert_stalled_ = false;
+  if (trace_ != nullptr) {
+    trace_->unit_span("npp/table", "insert", job.id, job.started,
+                      port_free_ - job.started);
+  }
   if (job.deps == 0) {
     deliver_ready(sim, port_free_, job.id);
   } else {
-    depcounts_.set(job.id, job.deps);
+    depcounts_.set(job.id, job.deps, port_free_);
   }
   return true;
 }
@@ -179,6 +192,10 @@ void NexusPP::process_finish(Simulation& sim, TaskId id) {
              cfg_.chain_hop_cycles * hop_cycles);
   port_free_ = sim.now() + cost;
   insert_busy_ += cost;
+  if (trace_ != nullptr) {
+    trace_->unit_span("npp/table", "finish", id, sim.now(), cost);
+    for (const auto& w : kicked_scratch_) trace_->on_dep(id, w.task, port_free_);
+  }
 
   for (const auto& w : kicked_scratch_) {
     // A kicked waiter can belong to the in-flight (possibly stalled) insert
@@ -190,9 +207,10 @@ void NexusPP::process_finish(Simulation& sim, TaskId id) {
       --active_insert_->deps;
       continue;
     }
-    if (depcounts_.decrement(w.task)) deliver_ready(sim, port_free_, w.task);
+    if (depcounts_.decrement(w.task, port_free_))
+      deliver_ready(sim, port_free_, w.task);
   }
-  pool_.erase(id);
+  pool_.erase(id, sim.now());
 
   if (freed_entry && insert_stalled_) insert_stalled_ = false;
   if (master_blocked_) {
@@ -202,6 +220,7 @@ void NexusPP::process_finish(Simulation& sim, TaskId id) {
 }
 
 void NexusPP::deliver_ready(Simulation& sim, Tick not_before, TaskId id) {
+  if (trace_ != nullptr) trace_->on_resolved(id, not_before);
   if (net_->ideal()) {
     // Write-Back: 3 cycles per ready task through the output FIFO. Kept as
     // the synchronous legacy path so the default config stays bit-identical

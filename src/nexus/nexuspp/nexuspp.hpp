@@ -71,6 +71,9 @@ class NexusPP final : public TaskManagerModel, public Component {
   [[nodiscard]] bool supports_taskwait_on() const override { return false; }
   /// Registers pool/table/dep-counts metrics under "nexus++/".
   void bind_telemetry(telemetry::MetricRegistry& reg) override;
+  /// Attach a span recorder: dependency-resolution stamps and edges, table
+  /// port occupancy spans, pool/dep-count depth counters, NoC flow events.
+  void bind_trace(telemetry::TraceRecorder* trace) override;
   [[nodiscard]] const char* name() const override { return "nexus++"; }
 
   // Component
@@ -102,6 +105,7 @@ class NexusPP final : public TaskManagerModel, public Component {
     TaskId id = kInvalidTask;
     std::size_t next_param = 0;
     std::uint32_t deps = 0;
+    Tick started = 0;  ///< table-port acquisition time (trace unit spans)
   };
 
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
@@ -139,6 +143,7 @@ class NexusPP final : public TaskManagerModel, public Component {
 
   telemetry::Counter* m_tasks_in_ = nullptr;
   telemetry::Counter* m_ready_out_ = nullptr;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nexus

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus {
 
@@ -46,6 +47,11 @@ void SharpArbiter::bind_telemetry(telemetry::MetricRegistry& reg,
   m_meta_parks_ = &reg.counter(telemetry::path_join(prefix, "meta_parks"));
   m_ready_depth_ = &reg.histogram(telemetry::path_join(prefix, "ready_q_depth"));
   m_wait_depth_ = &reg.histogram(telemetry::path_join(prefix, "wait_q_depth"));
+}
+
+void SharpArbiter::bind_trace(telemetry::TraceRecorder* trace) {
+  trace_ = trace;
+  depcounts_.bind_trace(trace, "nexus#/dep_counts");
 }
 
 void SharpArbiter::handle(Simulation& sim, const Event& ev) {
@@ -166,6 +172,8 @@ void SharpArbiter::pump(Simulation& sim) {
       ready_q_.pop_front();
       cost = cycles(cfg_.arb_ready_cycles);
       telemetry::inc(m_grants_ready_);
+      if (trace_ != nullptr)
+        trace_->unit_span("sharp/arbiter", "ready", id, now, cost);
       to_writeback(sim, now + cost, id);
       break;
     }
@@ -176,13 +184,15 @@ void SharpArbiter::pump(Simulation& sim) {
       wait_q_.pop_front();
       cost = cycles(cfg_.arb_wait_cycles);
       telemetry::inc(m_grants_wait_);
+      if (trace_ != nullptr)
+        trace_->unit_span("sharp/arbiter", "wait", id, now, cost);
       const auto it = sim_tasks_.find(id);
       if (it != sim_tasks_.end()) {
         // Kick raced ahead of (or into) the gathering phase: absorb it in
         // the Sim Tasks buffer (Section IV-C's "simultaneous" case).
         ++it->second.pending_dec;
         conclude_if_complete(sim, id, it->second, now + cost);
-      } else if (depcounts_.decrement(id)) {
+      } else if (depcounts_.decrement(id, now + cost)) {
         to_writeback(sim, now + cost, id);
       }
       break;
@@ -193,6 +203,8 @@ void SharpArbiter::pump(Simulation& sim) {
       // collect the results of all the task graphs" (Section IV-D).
       cost = cycles(cfg_.arb_dep_cycles);
       telemetry::inc(m_grants_dep_);
+      if (trace_ != nullptr)
+        trace_->unit_span("sharp/arbiter", "gather", 0, now, cost);
       for (auto& q : dep_q_) {
         if (q.empty()) continue;
         const std::uint64_t rec = q.front();
@@ -231,13 +243,14 @@ void SharpArbiter::conclude_if_complete(Simulation& sim, TaskId id, SimTask& st,
   if (remaining == 0) {
     to_writeback(sim, at, id);
   } else {
-    depcounts_.set(id, remaining);
+    depcounts_.set(id, remaining, at);
   }
 }
 
 void SharpArbiter::to_writeback(Simulation& sim, Tick from, TaskId id) {
   // Internal Ready Tasks FIFO (3 cycles) then the Write-Back stage
   // (3 cycles: reads the Function Pointers table, forwards to Nexus IO).
+  if (trace_ != nullptr) trace_->on_resolved(id, from);
   const Tick start = std::max(from + cycles(cfg_.fifo_latency), sim.now());
   const Tick done = wb_.acquire(start, cycles(cfg_.writeback_cycles));
   if (net_->ideal()) {

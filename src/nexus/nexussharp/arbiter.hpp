@@ -65,6 +65,10 @@ class SharpArbiter final : public Component {
   /// under `prefix`.
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
+  /// Attach a span recorder: resolution stamps at write-back entry, grant
+  /// occupancy spans, dep-count depth counters.
+  void bind_trace(telemetry::TraceRecorder* trace);
+
   // --- stats ---
   [[nodiscard]] std::uint64_t ready_delivered() const { return delivered_; }
   [[nodiscard]] Tick busy_time() const { return busy_; }
@@ -115,6 +119,7 @@ class SharpArbiter final : public Component {
 
   std::uint64_t delivered_ = 0;
   Tick busy_ = 0;
+  telemetry::TraceRecorder* trace_ = nullptr;
   std::uint64_t peak_sim_tasks_ = 0;
   std::uint64_t meta_parks_ = 0;
 

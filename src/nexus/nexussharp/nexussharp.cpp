@@ -3,6 +3,7 @@
 #include <string>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus {
 
@@ -25,6 +26,19 @@ NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy
     tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i,
                                                            arbiter_.get(),
                                                            net_.get()));
+  if (cfg_.trace != nullptr) bind_trace(cfg_.trace);
+}
+
+void NexusSharp::bind_trace(telemetry::TraceRecorder* trace) {
+  trace_ = trace;
+  pool_.bind_trace(trace, "nexus#/pool");
+  // Op codes are per receiving component; the ambiguous ones carry both
+  // spellings (op 0 is kNewArg into a task graph, kReady into the arbiter).
+  net_->bind_trace(trace, "nexus#/noc",
+                   {"new_arg|ready", "fin_arg|wait", "dep", "meta", "wb"});
+  arbiter_->bind_trace(trace);
+  for (std::uint32_t i = 0; i < cfg_.num_task_graphs; ++i)
+    tgs_[i]->bind_trace(trace);
 }
 
 void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
@@ -62,7 +76,7 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
   }
   ++tasks_in_;
   telemetry::inc(m_tasks_in_);
-  pool_.insert(task);
+  pool_.insert(task, sim.now());
 
   const auto nparams = static_cast<std::int64_t>(task.num_params());
   const Tick recv_done = io_.acquire(
@@ -156,7 +170,7 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
 void NexusSharp::handle(Simulation& sim, const Event& ev) {
   switch (ev.op) {
     case kFinishDistributed:
-      pool_.erase(static_cast<TaskId>(ev.a));
+      pool_.erase(static_cast<TaskId>(ev.a), sim.now());
       if (master_blocked_) {
         master_blocked_ = false;
         host_->master_resume(sim);

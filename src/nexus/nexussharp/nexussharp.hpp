@@ -42,6 +42,10 @@ class NexusSharp final : public TaskManagerModel, public Component {
   /// Registers the whole block's metrics under "nexus#/": task pool, per-TG
   /// units (tables, queue depths, routing balance) and the arbiter.
   void bind_telemetry(telemetry::MetricRegistry& reg) override;
+  /// Attach a span recorder to every unit: dependency stamps and edges
+  /// (arbiter + task graphs), table/arbiter occupancy spans, pool and
+  /// dep-count depth counters, NoC flow events.
+  void bind_trace(telemetry::TraceRecorder* trace) override;
   [[nodiscard]] const char* name() const override { return "nexus#"; }
 
   // Component (front-end events)
@@ -86,6 +90,7 @@ class NexusSharp final : public TaskManagerModel, public Component {
 
   bool master_blocked_ = false;
   std::uint64_t tasks_in_ = 0;
+  telemetry::TraceRecorder* trace_ = nullptr;
 
   telemetry::Counter* m_tasks_in_ = nullptr;
   telemetry::Counter* m_finishes_ = nullptr;

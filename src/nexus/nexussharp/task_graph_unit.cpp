@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus::detail {
 
@@ -22,6 +23,11 @@ void TaskGraphUnit::bind_telemetry(telemetry::MetricRegistry& reg,
   m_fin_depth_ = &reg.histogram(telemetry::path_join(prefix, "fin_q_depth"));
   m_args_ = &reg.counter(telemetry::path_join(prefix, "args"));
   m_kicks_ = &reg.counter(telemetry::path_join(prefix, "kicks"));
+}
+
+void TaskGraphUnit::bind_trace(telemetry::TraceRecorder* trace) {
+  trace_ = trace;
+  trace_track_ = "sharp/tg" + std::to_string(index_);
 }
 
 std::uint64_t TaskGraphUnit::pack(const Arg& a) {
@@ -109,6 +115,10 @@ Tick TaskGraphUnit::serve_finished(Simulation& sim, const Arg& a) {
   // once the record crosses the interconnect (ideal: the FIFO visibility
   // latency; ring/mesh: the tg->arbiter route).
   telemetry::inc(m_kicks_, kicked_scratch_.size());
+  if (trace_ != nullptr) {
+    trace_->unit_span(trace_track_, "finish", a.task, sim.now(), cost);
+    for (const auto& w : kicked_scratch_) trace_->on_dep(a.task, w.task, done);
+  }
   for (const auto& w : kicked_scratch_) {
     net_->send(sim, done, sharp_tg_node(index_),
                sharp_arbiter_node(cfg_.num_task_graphs),
@@ -134,6 +144,8 @@ bool TaskGraphUnit::serve_new(Simulation& sim, Tick* cost) {
       cycles(cfg_.tg_insert_per_param +
              cfg_.chain_hop_cycles * static_cast<std::int64_t>(res.chain_hops));
   const Tick done = sim.now() + *cost;
+  if (trace_ != nullptr)
+    trace_->unit_span(trace_track_, "insert", a.task, sim.now(), *cost);
   const bool runs_now = res.kind == hw::TaskGraphTable::InsertKind::kRunsNow;
   if (runs_now && a.single_param) {
     // Immediately-ready single-parameter task: skip the gather step via the

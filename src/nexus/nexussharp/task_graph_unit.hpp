@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -56,6 +57,10 @@ class TaskGraphUnit final : public Component {
   /// Register queue-depth/service metrics (and the table's) under `prefix`.
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
+  /// Attach a span recorder: dependency edges at kick time plus per-arg
+  /// table occupancy spans on the "sharp/tg<i>" track.
+  void bind_trace(telemetry::TraceRecorder* trace);
+
   // --- stats ---
   [[nodiscard]] const hw::TaskGraphTable& table() const { return table_; }
   [[nodiscard]] Tick busy_time() const { return busy_; }
@@ -88,6 +93,8 @@ class TaskGraphUnit final : public Component {
   bool pump_pending_ = false;
 
   std::vector<hw::Waiter> kicked_scratch_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::string trace_track_;  ///< "sharp/tg<i>"
   Tick busy_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t peak_queue_ = 0;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus::noc {
 
@@ -52,6 +53,26 @@ void Network::bind_telemetry(telemetry::MetricRegistry& reg,
   }
 }
 
+void Network::bind_trace(telemetry::TraceRecorder* trace,
+                         std::string_view name,
+                         std::vector<std::string> op_names) {
+  trace_ = trace;
+  trace_name_.assign(name);
+  trace_ops_ = std::move(op_names);
+  trace_links_.clear();
+  trace_links_.reserve(topo_.link_count());
+  for (LinkId l = 0; l < topo_.link_count(); ++l)
+    trace_links_.push_back(topo_.link_label(l));
+}
+
+std::string_view Network::op_label(std::uint32_t op) {
+  // Fallback labels are grown on demand and kept, so the recorder's string
+  // interner always sees a stable spelling for a given op code.
+  while (trace_ops_.size() <= op)
+    trace_ops_.push_back("op" + std::to_string(trace_ops_.size()));
+  return trace_ops_[op];
+}
+
 void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
                    std::uint32_t comp, std::uint32_t op, std::uint64_t a,
                    std::uint64_t b, std::uint32_t payload_bytes) {
@@ -63,6 +84,11 @@ void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
   traffic_[static_cast<std::size_t>(src) * topo_.endpoints() + dst] += flits;
   telemetry::inc(m_messages_);
   telemetry::inc(m_flits_, flits);
+  std::uint32_t tmsg = 0;
+  if (trace_ != nullptr) {
+    tmsg = trace_->noc_send(trace_name_, src, dst, op_label(op), flits,
+                            static_cast<telemetry::TraceTick>(depart));
+  }
   if (cfg_.ideal() || src == dst) {
     // Direct delivery: scheduling here — from the same call site, with the
     // same timestamp arithmetic as the legacy fixed-latency FIFOs — keeps
@@ -76,7 +102,10 @@ void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
     telemetry::record(m_hops_, h);
     telemetry::inc(m_delivered_);
     telemetry::inc(m_delivered_flits_, flits);
-    sim.schedule(depart + (src == dst ? 0 : ideal_latency_), comp, op, a, b);
+    const Tick deliver = depart + (src == dst ? 0 : ideal_latency_);
+    if (trace_ != nullptr)
+      trace_->noc_deliver(tmsg, static_cast<telemetry::TraceTick>(deliver));
+    sim.schedule(deliver, comp, op, a, b);
     return;
   }
 
@@ -97,6 +126,7 @@ void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
   m.a = a;
   m.b = b;
   m.flits = flits;
+  m.tmsg = tmsg;
   ++in_flight_;
   max_in_flight_ = std::max(max_in_flight_, in_flight_);
   telemetry::record(m_in_flight_, in_flight_);
@@ -125,6 +155,8 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
     telemetry::inc(m_delivered_);
     telemetry::inc(m_delivered_flits_, m.flits);
     telemetry::record(m_hops_, m.hops);
+    if (trace_ != nullptr)
+      trace_->noc_deliver(m.tmsg, static_cast<telemetry::TraceTick>(now));
     sim.schedule(now, m.comp, m.op, m.a, m.b);
     NEXUS_DCHECK(in_flight_ > 0);
     --in_flight_;
@@ -149,6 +181,11 @@ void Network::hop(Simulation& sim, std::uint32_t slot) {
     telemetry::inc(m_stall_ticks_, static_cast<std::uint64_t>(start - now));
   }
   const Tick ser = cycles(cfg_.link_cycles * m.flits);
+  if (trace_ != nullptr) {
+    trace_->noc_link(m.tmsg, trace_links_[l],
+                     static_cast<telemetry::TraceTick>(start),
+                     static_cast<telemetry::TraceTick>(ser));
+  }
   link.free_at = start + ser;
   link.busy += ser;
   link.flits += m.flits;

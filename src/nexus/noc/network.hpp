@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -78,6 +79,13 @@ class Network final : public Component {
   /// stalls, and per-link flit counts and busy time.
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
+  /// Attach a span recorder: every send becomes a trace message named under
+  /// `name`, delivered messages get an arrival stamp, and routed topologies
+  /// additionally record one link-occupancy span per hop. `op_names`
+  /// optionally labels the op codes; unknown ops fall back to "op<N>".
+  void bind_trace(telemetry::TraceRecorder* trace, std::string_view name,
+                  std::vector<std::string> op_names = {});
+
   // --- introspection for tests and reports ---
   struct Stats {
     std::uint64_t messages = 0;   ///< send() calls
@@ -111,10 +119,12 @@ class Network final : public Component {
     std::uint64_t b = 0;
     std::uint32_t hops = 0;
     std::uint32_t flits = 1;
+    std::uint32_t tmsg = 0;  ///< TraceRecorder message handle (trace_ set)
   };
 
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
   void hop(Simulation& sim, std::uint32_t slot);
+  [[nodiscard]] std::string_view op_label(std::uint32_t op);
 
   /// Everything a hop touches about one link, in one cache line: the
   /// serialization horizon, the stats mirrors, and the telemetry pointers.
@@ -150,6 +160,11 @@ class Network final : public Component {
   Tick stall_ticks_ = 0;
   std::uint64_t max_in_flight_ = 0;
   std::vector<std::uint64_t> traffic_;  ///< endpoints x endpoints, flits
+
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::string trace_name_;
+  std::vector<std::string> trace_ops_;    ///< op-code labels (grown on demand)
+  std::vector<std::string> trace_links_;  ///< cached per-link labels
 
   telemetry::Counter* m_messages_ = nullptr;
   telemetry::Counter* m_delivered_ = nullptr;

@@ -18,12 +18,14 @@ class IdealManager final : public TaskManagerModel {
   void attach(Simulation& sim, RuntimeHost* host) override;
   Tick submit(Simulation& sim, const TaskDescriptor& task) override;
   Tick notify_finished(Simulation& sim, TaskId id) override;
+  void bind_trace(telemetry::TraceRecorder* trace) override { trace_ = trace; }
   [[nodiscard]] const char* name() const override { return "ideal"; }
 
  private:
   RuntimeHost* host_ = nullptr;
   DependencyTracker tracker_;
   std::vector<TaskId> ready_scratch_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nexus

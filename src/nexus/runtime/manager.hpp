@@ -73,6 +73,13 @@ class TaskManagerModel {
   /// the run collects telemetry; managers without internals keep the no-op.
   virtual void bind_telemetry(telemetry::MetricRegistry& reg) { (void)reg; }
 
+  /// Attach a lifecycle trace recorder (see telemetry/trace.hpp). Called
+  /// once, before attach, when the run traces. Managers fill the
+  /// `resolved` span boundary and the dependency-kick edges; the driver
+  /// owns every other boundary. The no-op default keeps untraced managers
+  /// untraced.
+  virtual void bind_trace(telemetry::TraceRecorder* trace) { (void)trace; }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

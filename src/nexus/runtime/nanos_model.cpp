@@ -1,5 +1,7 @@
 #include "nexus/runtime/nanos_model.hpp"
 
+#include "nexus/telemetry/trace.hpp"
+
 namespace nexus {
 
 void NanosModel::attach(Simulation& sim, RuntimeHost* host) {
@@ -19,6 +21,7 @@ Tick NanosModel::submit(Simulation& sim, const TaskDescriptor& task) {
   const Tick done = lock_.acquire(insert_start, insert_cost);
   const bool ready = tracker_.submit(task) == 0;
   if (ready) {
+    if (trace_ != nullptr) trace_->on_resolved(task.id, done);
     // Visible to idle workers once the insertion critical section ends.
     sim.schedule(done, self_, kDeliverReady, task.id);
   }
@@ -29,8 +32,13 @@ Tick NanosModel::notify_finished(Simulation& sim, TaskId id) {
   const Tick done = lock_.acquire(sim.now(), cfg_.finish_cs);
   ready_scratch_.clear();
   tracker_.finish(id, &ready_scratch_);
-  for (const TaskId t : ready_scratch_)
+  for (const TaskId t : ready_scratch_) {
+    if (trace_ != nullptr) {
+      trace_->on_dep(id, t, done);
+      trace_->on_resolved(t, done);
+    }
     sim.schedule(done, self_, kDeliverReady, t);
+  }
   return done;  // the worker runs the completion section itself
 }
 

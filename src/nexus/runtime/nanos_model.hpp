@@ -46,6 +46,7 @@ class NanosModel final : public TaskManagerModel, public Component {
   [[nodiscard]] Tick taskwait_on_query_cost() const override {
     return cfg_.barrier_wake;
   }
+  void bind_trace(telemetry::TraceRecorder* trace) override { trace_ = trace; }
   [[nodiscard]] const char* name() const override { return "nanos"; }
 
   // Component: deferred ready-task delivery at lock-release times.
@@ -63,6 +64,7 @@ class NanosModel final : public TaskManagerModel, public Component {
   DependencyTracker tracker_;
   Server lock_;
   std::vector<TaskId> ready_scratch_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace nexus

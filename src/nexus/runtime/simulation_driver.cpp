@@ -4,6 +4,7 @@
 
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/telemetry/timeline.hpp"
+#include "nexus/telemetry/trace.hpp"
 
 namespace nexus {
 
@@ -23,6 +24,7 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
       workers_(config.workers),
       finished_(trace.num_tasks(), false) {
   if (config_.metrics != nullptr) manager_.bind_telemetry(*config_.metrics);
+  if (config_.trace != nullptr) manager_.bind_trace(config_.trace);
   self_ = sim_.add_component(this);
   manager_.attach(sim_, this);
   if (!config_.noc.ideal()) {
@@ -42,7 +44,13 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
     m_ready_depth_ =
         &config_.metrics->histogram("runtime/ready_q_depth");
     m_dispatches_ = &config_.metrics->counter("runtime/dispatches");
+    m_sojourn_ = &config_.metrics->histogram("runtime/sojourn_ps");
+    m_queue_wait_ = &config_.metrics->histogram("runtime/queue_wait_ps");
+    submit_t_.assign(trace_.num_tasks(), -1);
+    ready_t_.assign(trace_.num_tasks(), -1);
   }
+  if (config_.trace != nullptr && host_net_ != nullptr)
+    host_net_->bind_trace(config_.trace, "runtime/noc");
   if (config_.timeline != nullptr) {
     NEXUS_ASSERT_MSG(config_.metrics != nullptr,
                      "RuntimeConfig::timeline requires RuntimeConfig::metrics");
@@ -87,6 +95,7 @@ RunResult Driver::run() {
   // Final timeline row at the makespan, after the end-of-run gauges above so
   // it captures the settled state.
   if (config_.timeline != nullptr) config_.timeline->finish(r.makespan);
+  if (config_.trace != nullptr) config_.trace->set_makespan(r.makespan);
   return r;
 }
 
@@ -127,12 +136,20 @@ void Driver::master_step(Simulation& sim) {
     switch (ev.op) {
       case TraceOp::kSubmit: {
         const TaskDescriptor& task = trace_.task(ev.task);
+        // Recorded before the submit so a pool-blocked retry keeps the
+        // first attempt (the wait belongs to the span).
+        if (config_.trace != nullptr)
+          config_.trace->on_submit(task.id, sim.now());
+        if (config_.metrics != nullptr && submit_t_[task.id] < 0)
+          submit_t_[task.id] = sim.now();
         const Tick resume = manager_.submit(sim, task);
         if (resume == kSubmitBlocked) {
           master_ = MasterState::kBlockedOnPool;
           return;  // manager will call master_resume
         }
         NEXUS_ASSERT(resume >= sim.now());
+        if (config_.trace != nullptr)
+          config_.trace->on_accepted(task.id, resume);
         ++next_event_;
         ++outstanding_;
         for (const auto& p : task.params)
@@ -186,6 +203,12 @@ void Driver::task_ready(Simulation& sim, TaskId id) {
   NEXUS_DCHECK(id < trace_.num_tasks());
   ready_queue_.push_back(id);
   telemetry::record(m_ready_depth_, ready_queue_.size());
+  if (config_.metrics != nullptr) ready_t_[id] = sim.now();
+  if (config_.trace != nullptr) {
+    config_.trace->on_ready(id, sim.now());
+    config_.trace->counter("runtime/ready_q", sim.now(),
+                           static_cast<std::int64_t>(ready_queue_.size()));
+  }
   try_dispatch(sim);
 }
 
@@ -206,6 +229,15 @@ void Driver::try_dispatch(Simulation& sim) {
         manager_.dispatch_time(sim) + config_.host_message_cost;
     NEXUS_ASSERT(start >= sim.now());
     telemetry::inc(m_dispatches_);
+    if (config_.metrics != nullptr && ready_t_[id] >= 0)
+      telemetry::record(m_queue_wait_,
+                        static_cast<std::uint64_t>(sim.now() - ready_t_[id]));
+    if (config_.trace != nullptr) {
+      config_.trace->on_dispatch(id, sim.now(),
+                                 static_cast<std::int32_t>(w));
+      config_.trace->counter("runtime/ready_q", sim.now(),
+                             static_cast<std::int64_t>(ready_queue_.size()));
+    }
     if (host_net_ != nullptr) {
       // The dispatch record additionally crosses the host NoC from the
       // manager tile to the claimed core (task id + function pointer, one
@@ -218,6 +250,7 @@ void Driver::try_dispatch(Simulation& sim) {
     workers_.occupy(w, sim.now(), end);
     if (config_.schedule_out != nullptr)
       config_.schedule_out->push_back(ScheduleEntry{id, w, start, end});
+    if (config_.trace != nullptr) config_.trace->on_exec(id, start, end);
     sim.schedule(end, self_, kTaskDone, w, id);
   }
 }
@@ -228,6 +261,7 @@ void Driver::begin_task(Simulation& sim, std::uint32_t worker, TaskId id) {
   workers_.occupy(worker, start, end);
   if (config_.schedule_out != nullptr)
     config_.schedule_out->push_back(ScheduleEntry{id, worker, start, end});
+  if (config_.trace != nullptr) config_.trace->on_exec(id, start, end);
   sim.schedule(end, self_, kTaskDone, worker, id);
 }
 
@@ -255,6 +289,10 @@ void Driver::on_notify(Simulation& sim, std::uint32_t worker, TaskId id) {
   // `free_at`.
   const Tick free_at = manager_.notify_finished(sim, id) + config_.host_message_cost;
   NEXUS_ASSERT(free_at >= sim.now());
+  if (config_.trace != nullptr) config_.trace->on_freed(id, free_at);
+  if (config_.metrics != nullptr && submit_t_[id] >= 0)
+    telemetry::record(m_sojourn_,
+                      static_cast<std::uint64_t>(sim.now() - submit_t_[id]));
   if (free_at == sim.now()) {
     workers_.release(worker);
     try_dispatch(sim);

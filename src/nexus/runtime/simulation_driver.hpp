@@ -65,6 +65,12 @@ struct RuntimeConfig {
   /// makespan. Sampling is read-only: it cannot change the schedule or the
   /// makespan (tested contract).
   telemetry::TimelineRecorder* timeline = nullptr;
+
+  /// If nonnull, the run records one lifecycle span chain per task plus
+  /// causal dependency/NoC edges into this recorder (telemetry/trace.hpp).
+  /// Recording is append-only and cannot perturb the schedule: a traced
+  /// run is bit-identical to an untraced one (tested contract).
+  telemetry::TraceRecorder* trace = nullptr;
 };
 
 struct RunResult {
@@ -155,6 +161,14 @@ class Driver final : public Component, public RuntimeHost {
 
   telemetry::Histogram* m_ready_depth_ = nullptr;  ///< host ready-queue depth
   telemetry::Counter* m_dispatches_ = nullptr;
+  telemetry::Histogram* m_sojourn_ = nullptr;     ///< submit -> finish, per task
+  telemetry::Histogram* m_queue_wait_ = nullptr;  ///< ready -> dispatch
+
+  /// Per-task submit/ready times (task ids are dense trace indices), kept
+  /// only when metrics are bound — they feed the sojourn and queue-wait
+  /// histograms above.
+  std::vector<Tick> submit_t_;
+  std::vector<Tick> ready_t_;
 };
 
 }  // namespace detail

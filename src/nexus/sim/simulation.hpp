@@ -61,8 +61,10 @@ class Simulation {
   /// Before each event is dispatched, the recorder is advanced to the event's
   /// timestamp, so timeline rows capture the state just *before* the sim
   /// crosses each grid point. The sampler only reads metrics — it schedules
-  /// nothing and never changes simulated behavior.
-  void set_sampler(telemetry::TimelineRecorder* sampler) { sampler_ = sampler; }
+  /// nothing and never changes simulated behavior. Attaching mid-run marks
+  /// the grid points already behind now() as unobserved (zero-padded on
+  /// export) instead of letting the first sample fabricate warm history.
+  void set_sampler(telemetry::TimelineRecorder* sampler);
 
  private:
   /// Per-event metric hook; a single null check when telemetry is unbound.

@@ -1,0 +1,159 @@
+#include "nexus/telemetry/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::telemetry {
+
+const char* to_string(PathPhase p) {
+  switch (p) {
+    case PathPhase::kMaster: return "master";
+    case PathPhase::kIngest: return "ingest";
+    case PathPhase::kDepWait: return "dep_wait";
+    case PathPhase::kDepResolve: return "dep_resolve";
+    case PathPhase::kWriteback: return "writeback";
+    case PathPhase::kQueueWait: return "queue_wait";
+    case PathPhase::kDispatch: return "dispatch";
+    case PathPhase::kExecute: return "execute";
+    case PathPhase::kMasterTail: return "master_tail";
+  }
+  return "?";
+}
+
+TraceTick CriticalPathReport::total(PathPhase p) const {
+  TraceTick sum = 0;
+  for (const PathSegment& s : segments)
+    if (s.phase == p) sum += s.dur();
+  return sum;
+}
+
+CriticalPathReport critical_path(const TraceData& trace) {
+  NEXUS_ASSERT_MSG(!trace.tasks.empty(), "critical_path: empty trace");
+
+  // Anchor: the latest exec_end (ties break towards the larger task id so
+  // the walk is deterministic).
+  const TaskSpan* anchor = nullptr;
+  for (const TaskSpan& s : trace.tasks) {
+    NEXUS_ASSERT_MSG(s.complete(), "critical_path: incomplete span");
+    if (anchor == nullptr || s.exec_end >= anchor->exec_end) anchor = &s;
+  }
+
+  // Binding producer per consumer: the dependency kick with the latest t.
+  std::unordered_map<std::uint64_t, const DepEdge*> binding;
+  for (const DepEdge& e : trace.deps) {
+    const DepEdge*& slot = binding[e.consumer];
+    if (slot == nullptr || e.t > slot->t ||
+        (e.t == slot->t && e.producer > slot->producer))
+      slot = &e;
+  }
+
+  // Per-worker occupancy order (by dispatch time) to find the task whose
+  // completion freed the worker a queued task was waiting for.
+  std::unordered_map<std::int32_t, std::vector<const TaskSpan*>> by_worker;
+  for (const TaskSpan& s : trace.tasks) by_worker[s.worker].push_back(&s);
+  for (auto& [w, v] : by_worker)
+    std::sort(v.begin(), v.end(), [](const TaskSpan* a, const TaskSpan* b) {
+      return a->dispatch < b->dispatch;
+    });
+
+  CriticalPathReport rep;
+  rep.makespan = trace.makespan;
+  rep.last_task = anchor->task;
+
+  TraceTick cursor = trace.makespan;
+  // Segments are collected back-to-front ([x, cursor] then cursor = x), so
+  // contiguity holds by construction; zero-length legs move the cursor
+  // without emitting a segment.
+  auto push = [&](PathPhase ph, std::uint64_t task, TraceTick from) {
+    NEXUS_ASSERT_MSG(from >= 0 && from <= cursor,
+                     "critical_path: non-monotone walk");
+    if (from < cursor) rep.segments.push_back({ph, task, from, cursor});
+    cursor = from;
+  };
+
+  std::unordered_set<std::uint64_t> visited;
+  const TaskSpan* t = anchor;
+  push(PathPhase::kMasterTail, anchor->task, anchor->exec_end);
+  for (;;) {
+    visited.insert(t->task);
+    push(PathPhase::kExecute, t->task, t->exec_start);
+    push(PathPhase::kDispatch, t->task, t->dispatch);
+    if (t->dispatch > t->ready) {
+      // The task sat in the ready queue: the binding event is the previous
+      // occupant of the claimed worker finishing.
+      const TaskSpan* prev = nullptr;
+      for (const TaskSpan* o : by_worker[t->worker]) {
+        if (o->dispatch < t->dispatch)
+          prev = o;
+        else
+          break;
+      }
+      if (prev != nullptr && !visited.contains(prev->task) &&
+          prev->exec_end <= cursor) {
+        push(PathPhase::kQueueWait, t->task, prev->exec_end);
+        t = prev;
+        continue;
+      }
+      push(PathPhase::kQueueWait, t->task, t->ready);  // no jump target
+    }
+    push(PathPhase::kWriteback, t->task, t->resolved);
+    const auto it = binding.find(t->task);
+    const TaskSpan* prod =
+        it != binding.end() ? trace.find(it->second->producer) : nullptr;
+    if (prod != nullptr && !visited.contains(prod->task) &&
+        prod->exec_end <= cursor) {
+      push(PathPhase::kDepResolve, t->task, prod->exec_end);
+      t = prod;
+      continue;
+    }
+    // Source task (or a causally-exhausted chain): close via its own
+    // submit path and the serial master prefix.
+    push(PathPhase::kDepWait, t->task, t->accepted);
+    push(PathPhase::kIngest, t->task, t->submit);
+    push(PathPhase::kMaster, t->task, 0);
+    break;
+  }
+
+  std::reverse(rep.segments.begin(), rep.segments.end());
+
+  NEXUS_ASSERT_MSG(cursor == 0, "critical_path: walk did not reach t=0");
+  TraceTick sum = 0;
+  for (const PathSegment& s : rep.segments) sum += s.dur();
+  NEXUS_ASSERT_MSG(sum == rep.makespan,
+                   "critical_path: attribution does not sum to makespan");
+  return rep;
+}
+
+std::string critical_path_text(const CriticalPathReport& r) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "critical path: makespan %lld ps, anchor task %llu, %zu "
+                "segments\n",
+                static_cast<long long>(r.makespan),
+                static_cast<unsigned long long>(r.last_task),
+                r.segments.size());
+  out += line;
+  constexpr PathPhase kAll[] = {
+      PathPhase::kMaster,    PathPhase::kIngest,     PathPhase::kDepWait,
+      PathPhase::kDepResolve, PathPhase::kWriteback, PathPhase::kQueueWait,
+      PathPhase::kDispatch,  PathPhase::kExecute,    PathPhase::kMasterTail,
+  };
+  for (const PathPhase p : kAll) {
+    const TraceTick total = r.total(p);
+    if (total == 0) continue;
+    const double pct = r.makespan > 0 ? 100.0 * static_cast<double>(total) /
+                                            static_cast<double>(r.makespan)
+                                      : 0.0;
+    std::snprintf(line, sizeof line, "  %-12s %14lld ps  %5.1f%%\n",
+                  to_string(p), static_cast<long long>(total), pct);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,55 @@
+// Critical-path attribution over a frozen TraceData.
+//
+// Walks the span graph backward from the last-finishing task, at each step
+// jumping to whichever event actually bound the current boundary: the
+// previous occupant of the claimed worker when the task sat in the ready
+// queue, otherwise the binding producer (latest dependency kick). The
+// resulting segments tile [0, makespan] exactly — the attribution *sums to
+// the makespan by construction*, and critical_path() asserts it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nexus/telemetry/trace.hpp"
+
+namespace nexus::telemetry {
+
+enum class PathPhase : std::uint8_t {
+  kMaster,      ///< serial master prefix before the chain's first submit
+  kIngest,      ///< submit -> accepted (pool commit / insert pipeline)
+  kDepWait,     ///< accepted -> resolved with no producer (manager pipeline)
+  kDepResolve,  ///< producer exec_end -> resolved (notify + kick + arb + NoC)
+  kWriteback,   ///< resolved -> ready (WB arbitration + manager->host NoC)
+  kQueueWait,   ///< previous worker occupant exec_end -> dispatch
+  kDispatch,    ///< dispatch -> exec_start (host->core transit)
+  kExecute,     ///< exec_start -> exec_end
+  kMasterTail,  ///< last exec_end -> makespan (final master bookkeeping)
+};
+
+const char* to_string(PathPhase p);
+
+struct PathSegment {
+  PathPhase phase = PathPhase::kExecute;
+  std::uint64_t task = 0;  ///< task the time is charged to
+  TraceTick from = 0;
+  TraceTick to = 0;
+  [[nodiscard]] TraceTick dur() const { return to - from; }
+};
+
+struct CriticalPathReport {
+  std::vector<PathSegment> segments;  ///< contiguous, from t=0 to makespan
+  TraceTick makespan = 0;
+  std::uint64_t last_task = 0;  ///< the walk's anchor (latest exec_end)
+
+  [[nodiscard]] TraceTick total(PathPhase p) const;
+};
+
+/// Requires at least one complete span; asserts the segment tiling is exact.
+[[nodiscard]] CriticalPathReport critical_path(const TraceData& trace);
+
+/// Human-readable attribution table (phase totals + the walked chain).
+[[nodiscard]] std::string critical_path_text(const CriticalPathReport& r);
+
+}  // namespace nexus::telemetry

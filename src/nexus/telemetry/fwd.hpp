@@ -3,6 +3,8 @@
 // .cpp; the hot-path helpers live in metrics.hpp).
 #pragma once
 
+#include <cstdint>
+
 namespace nexus::telemetry {
 
 class MetricRegistry;
@@ -13,5 +15,11 @@ struct Snapshot;
 class TimelineRecorder;
 struct Timeline;
 struct TimelineConfig;
+class TraceRecorder;
+struct TraceData;
+
+/// Simulation time as recorded by the trace layer (mirrors nexus::Tick
+/// without depending on the sim headers; -1 marks an unset boundary).
+using TraceTick = std::int64_t;
 
 }  // namespace nexus::telemetry

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "nexus/telemetry/metrics.hpp"
+
 namespace nexus::telemetry {
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
@@ -23,6 +25,29 @@ struct HistogramData {
   std::uint64_t max = 0;
   /// Nonzero buckets only: (bucket index, count), ascending by index.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+
+  /// Interpolated quantile, identical semantics to Histogram::quantile.
+  [[nodiscard]] double quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q <= 0.0) return static_cast<double>(min);
+    if (q >= 1.0) return static_cast<double>(max);
+    const double target = q * static_cast<double>(count);
+    std::uint64_t below = 0;
+    for (const auto& [index, n] : buckets) {
+      if (static_cast<double>(below + n) >= target) {
+        const double frac =
+            (target - static_cast<double>(below)) / static_cast<double>(n);
+        return detail::interpolate_pow2_bucket(index, frac, min, max);
+      }
+      below += n;
+    }
+    return static_cast<double>(max);
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
 };
 
 struct MetricValue {

@@ -71,6 +71,16 @@ void TimelineRecorder::sample_until(TimeTick t) {
   }
 }
 
+void TimelineRecorder::skip_until(TimeTick t) {
+  NEXUS_ASSERT_MSG(series_.empty(),
+                   "skip_until must precede the first recorded sample");
+  while (next_t_ <= t) {
+    times_.push_back(next_t_);
+    next_t_ += interval_;
+    if (times_.size() > cfg_.max_points) coarsen();
+  }
+}
+
 void TimelineRecorder::finish(TimeTick t) {
   if (!times_.empty() && t <= times_.back()) return;
   // Coarsen *before* appending: coarsen keeps even-indexed rows only, so

@@ -85,6 +85,14 @@ class TimelineRecorder {
   /// each event's timestamp before dispatching it.
   void sample_until(TimeTick t);
 
+  /// Mark every grid point <= t as unobserved (time rows with no values):
+  /// a recorder attached mid-run never saw the metric state at those
+  /// points, so they must export as zeros, not as fabricated history
+  /// copied from the attach-time values. Series appearing at the first
+  /// real sample are back-filled over the skipped rows by the usual
+  /// late-metric zero-padding. Only valid before the first recorded row.
+  void skip_until(TimeTick t);
+
   /// Record one final off-grid row at `t` (end of run), if `t` is past the
   /// last recorded row.
   void finish(TimeTick t);

@@ -1,0 +1,133 @@
+#include "nexus/telemetry/trace.hpp"
+
+#include <algorithm>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::telemetry {
+
+const TaskSpan* TraceData::find(std::uint64_t task) const {
+  const auto it = std::lower_bound(
+      tasks.begin(), tasks.end(), task,
+      [](const TaskSpan& s, std::uint64_t id) { return s.task < id; });
+  return it != tasks.end() && it->task == task ? &*it : nullptr;
+}
+
+std::uint64_t TraceData::delivered_flits(std::string_view net) const {
+  std::uint64_t flits = 0;
+  for (const NocMessage& m : messages)
+    if (m.arrive >= 0 && str(m.net) == net) flits += m.flits;
+  return flits;
+}
+
+TaskSpan& TraceRecorder::span(std::uint64_t task) {
+  const auto [it, fresh] =
+      task_ix_.emplace(task, static_cast<std::uint32_t>(tasks_.size()));
+  if (fresh) {
+    tasks_.emplace_back();
+    tasks_.back().task = task;
+  }
+  return tasks_[it->second];
+}
+
+std::uint32_t TraceRecorder::intern(std::string_view s) {
+  const auto it = string_ix_.find(s);
+  if (it != string_ix_.end()) return it->second;
+  const auto ix = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  string_ix_.emplace(strings_.back(), ix);
+  return ix;
+}
+
+void TraceRecorder::on_submit(std::uint64_t task, TraceTick t) {
+  TaskSpan& s = span(task);
+  if (s.submit < 0) s.submit = t;  // first attempt wins under backpressure
+}
+
+void TraceRecorder::on_accepted(std::uint64_t task, TraceTick t) {
+  span(task).accepted = t;
+}
+
+void TraceRecorder::on_resolved(std::uint64_t task, TraceTick t) {
+  span(task).resolved = t;
+}
+
+void TraceRecorder::on_ready(std::uint64_t task, TraceTick t) {
+  span(task).ready = t;
+}
+
+void TraceRecorder::on_dispatch(std::uint64_t task, TraceTick t,
+                                std::int32_t worker) {
+  TaskSpan& s = span(task);
+  s.dispatch = t;
+  s.worker = worker;
+}
+
+void TraceRecorder::on_exec(std::uint64_t task, TraceTick start,
+                            TraceTick end) {
+  TaskSpan& s = span(task);
+  s.exec_start = start;
+  s.exec_end = end;
+}
+
+void TraceRecorder::on_freed(std::uint64_t task, TraceTick t) {
+  span(task).freed = t;
+}
+
+void TraceRecorder::on_dep(std::uint64_t producer, std::uint64_t consumer,
+                           TraceTick t) {
+  deps_.push_back({producer, consumer, t});
+}
+
+std::uint32_t TraceRecorder::noc_send(std::string_view net, std::uint32_t src,
+                                      std::uint32_t dst, std::string_view op,
+                                      std::uint32_t flits, TraceTick depart) {
+  NocMessage m;
+  m.net = intern(net);
+  m.src = src;
+  m.dst = dst;
+  m.op = intern(op);
+  m.flits = flits;
+  m.depart = depart;
+  messages_.push_back(m);
+  return static_cast<std::uint32_t>(messages_.size() - 1);
+}
+
+void TraceRecorder::noc_link(std::uint32_t msg, std::string_view link,
+                             TraceTick start, TraceTick dur) {
+  NEXUS_ASSERT(msg < messages_.size());
+  link_spans_.push_back({msg, intern(link), start, dur});
+}
+
+void TraceRecorder::noc_deliver(std::uint32_t msg, TraceTick arrive) {
+  NEXUS_ASSERT(msg < messages_.size());
+  messages_[msg].arrive = arrive;
+}
+
+void TraceRecorder::unit_span(std::string_view unit, std::string_view what,
+                              std::uint64_t task, TraceTick start,
+                              TraceTick dur) {
+  unit_spans_.push_back({intern(unit), intern(what), task, start, dur});
+}
+
+void TraceRecorder::counter(std::string_view track, TraceTick t,
+                            std::int64_t v) {
+  counters_.push_back({intern(track), t, v});
+}
+
+TraceData TraceRecorder::freeze() const {
+  TraceData d;
+  d.tasks = tasks_;
+  std::sort(d.tasks.begin(), d.tasks.end(),
+            [](const TaskSpan& a, const TaskSpan& b) { return a.task < b.task; });
+  d.deps = deps_;
+  d.messages = messages_;
+  d.link_spans = link_spans_;
+  d.unit_spans = unit_spans_;
+  d.counters = counters_;
+  d.strings = strings_;
+  d.makespan = makespan_;
+  return d;
+}
+
+}  // namespace nexus::telemetry

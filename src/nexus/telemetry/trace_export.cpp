@@ -1,0 +1,339 @@
+#include "nexus/telemetry/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "nexus/telemetry/critical_path.hpp"
+#include "nexus/telemetry/writers.hpp"
+
+namespace nexus::telemetry {
+
+namespace {
+
+// Process ids group the tracks: cores / manager units / NoC links /
+// occupancy counters / per-task lifecycle chains.
+constexpr int kPidCores = 1;
+constexpr int kPidUnits = 2;
+constexpr int kPidNoc = 3;
+constexpr int kPidState = 4;
+constexpr int kPidTasks = 5;
+
+// Flow ids for dependency kicks and NoC messages share one namespace;
+// offset the messages so they never collide.
+constexpr std::uint64_t kNocFlowBase = std::uint64_t{1} << 40;
+
+struct Ev {
+  TraceTick ts = 0;
+  // Secondary sort key at equal timestamps: metadata first, then async
+  // ends before async begins (consecutive lifecycle phases share their
+  // boundary tick), then slices/counters, then flow bindings.
+  int order = 3;
+  char ph = 'X';
+  int pid = 0;
+  std::int64_t tid = 0;
+  TraceTick dur = -1;  ///< >= 0 only for "X"
+  std::string name;
+  std::string cat;
+  std::uint64_t id = 0;
+  bool has_id = false;
+  bool bp_e = false;  ///< "f" with bp:"e"
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+double to_us(TraceTick ps) { return static_cast<double>(ps) * 1e-6; }
+
+void emit(JsonWriter& w, const Ev& e) {
+  w.begin_object();
+  w.kv("name", e.name);
+  if (!e.cat.empty()) w.kv("cat", e.cat);
+  w.kv("ph", std::string_view(&e.ph, 1));
+  w.kv("ts", to_us(e.ts));
+  if (e.dur >= 0) w.kv("dur", to_us(e.dur));
+  w.kv("pid", e.pid);
+  w.kv("tid", e.tid);
+  if (e.has_id) w.kv("id", e.id);
+  if (e.bp_e) w.kv("bp", "e");
+  if (!e.args.empty()) {
+    w.key("args").begin_object();
+    for (const auto& [k, v] : e.args) w.kv(k, v);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void metadata(std::vector<Ev>& evs, int pid, std::int64_t tid,
+              std::string_view key, std::string_view name) {
+  Ev e;
+  e.order = -1;
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = key;
+  e.cat = "__metadata";
+  // Metadata carries its payload as a string arg; reuse args via a marker
+  // handled at emission time below.
+  evs.push_back(std::move(e));
+  evs.back().args.emplace_back(std::string(name), 0);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceData& trace) {
+  std::vector<Ev> evs;
+
+  // --- track naming ---------------------------------------------------
+  std::int64_t max_worker = -1;
+  for (const TaskSpan& s : trace.tasks)
+    max_worker = std::max<std::int64_t>(max_worker, s.worker);
+  std::vector<Ev> meta;  // metadata handled separately (string payloads)
+  auto process_name = [&](int pid, std::string_view name) {
+    metadata(meta, pid, 0, "process_name", name);
+  };
+  auto thread_name = [&](int pid, std::int64_t tid, std::string_view name) {
+    metadata(meta, pid, tid, "thread_name", name);
+  };
+
+  // Manager-unit and NoC-link tracks get tids in first-appearance order.
+  std::map<std::uint32_t, std::int64_t> unit_tid;
+  auto tid_for = [](std::map<std::uint32_t, std::int64_t>& m,
+                    std::uint32_t str_ix) {
+    return m.emplace(str_ix, static_cast<std::int64_t>(m.size())).first
+        ->second;
+  };
+  std::map<std::uint32_t, std::int64_t> link_tid;
+  std::map<std::uint32_t, std::int64_t> counter_tid;
+
+  // --- per-core execution slices + lifecycle chains -------------------
+  bool all_complete = !trace.tasks.empty();
+  for (const TaskSpan& s : trace.tasks) {
+    if (!s.complete()) {
+      all_complete = false;
+      continue;
+    }
+    const std::string task_name = "task" + std::to_string(s.task);
+    Ev x;
+    x.ph = 'X';
+    x.pid = kPidCores;
+    x.tid = s.worker;
+    x.ts = s.exec_start;
+    x.dur = s.exec_end - s.exec_start;
+    x.name = task_name;
+    x.cat = "exec";
+    const TaskPhases p = phases_of(s);
+    x.args = {{"task", static_cast<std::int64_t>(s.task)},
+              {"submit_ps", s.submit},
+              {"ingest_ps", p.ingest},
+              {"dep_wait_ps", p.dep_wait},
+              {"writeback_ps", p.writeback},
+              {"queue_wait_ps", p.queue_wait},
+              {"dispatch_ps", p.dispatch},
+              {"execute_ps", p.execute}};
+    evs.push_back(std::move(x));
+
+    // Lifecycle chain: one async track per task (keyed by id), one
+    // begin/end pair per nonzero phase. Ends sort before begins at a
+    // shared boundary so consecutive phases never overlap.
+    struct Leg {
+      const char* name;
+      TraceTick from, to;
+    };
+    const Leg legs[] = {{"ingest", s.submit, s.accepted},
+                        {"dep_wait", s.accepted, s.resolved},
+                        {"writeback", s.resolved, s.ready},
+                        {"queue_wait", s.ready, s.dispatch},
+                        {"dispatch", s.dispatch, s.exec_start},
+                        {"execute", s.exec_start, s.exec_end}};
+    for (const Leg& leg : legs) {
+      if (leg.to <= leg.from) continue;
+      Ev b;
+      b.ph = 'b';
+      b.order = 2;
+      b.pid = kPidTasks;
+      b.tid = 0;
+      b.ts = leg.from;
+      b.name = leg.name;
+      b.cat = "lifecycle";
+      b.id = s.task;
+      b.has_id = true;
+      Ev e = b;
+      e.ph = 'e';
+      e.order = 1;
+      e.ts = leg.to;
+      evs.push_back(std::move(b));
+      evs.push_back(std::move(e));
+    }
+  }
+
+  // --- dependency-kick flow arrows ------------------------------------
+  for (std::size_t i = 0; i < trace.deps.size(); ++i) {
+    const DepEdge& d = trace.deps[i];
+    const TaskSpan* prod = trace.find(d.producer);
+    const TaskSpan* cons = trace.find(d.consumer);
+    if (prod == nullptr || cons == nullptr || !prod->complete() ||
+        !cons->complete())
+      continue;
+    Ev s;
+    s.ph = 's';
+    s.order = 4;
+    s.pid = kPidCores;
+    s.tid = prod->worker;
+    s.ts = prod->exec_end;
+    s.name = "dep";
+    s.cat = "dep";
+    s.id = i;
+    s.has_id = true;
+    Ev f = s;
+    f.ph = 'f';
+    f.tid = cons->worker;
+    f.ts = cons->exec_start;
+    f.bp_e = true;
+    evs.push_back(std::move(s));
+    evs.push_back(std::move(f));
+  }
+
+  // --- manager unit service spans -------------------------------------
+  for (const UnitSpan& u : trace.unit_spans) {
+    Ev x;
+    x.ph = 'X';
+    x.pid = kPidUnits;
+    x.tid = tid_for(unit_tid, u.unit);
+    x.ts = u.start;
+    x.dur = u.dur;
+    x.name = trace.str(u.what);
+    x.cat = "unit";
+    x.args = {{"task", static_cast<std::int64_t>(u.task)}};
+    evs.push_back(std::move(x));
+  }
+
+  // --- NoC link occupancy + message flows -----------------------------
+  std::vector<std::vector<const LinkSpan*>> by_msg(trace.messages.size());
+  for (const LinkSpan& l : trace.link_spans) by_msg[l.msg].push_back(&l);
+  for (std::size_t m = 0; m < trace.messages.size(); ++m) {
+    const NocMessage& msg = trace.messages[m];
+    auto& spans = by_msg[m];
+    std::sort(spans.begin(), spans.end(),
+              [](const LinkSpan* a, const LinkSpan* b) {
+                return a->start < b->start;
+              });
+    for (std::size_t h = 0; h < spans.size(); ++h) {
+      const LinkSpan& l = *spans[h];
+      Ev x;
+      x.ph = 'X';
+      x.pid = kPidNoc;
+      x.tid = tid_for(link_tid, l.link);
+      x.ts = l.start;
+      x.dur = l.dur;
+      x.name = trace.str(msg.op);
+      x.cat = trace.str(msg.net);
+      x.args = {{"msg", static_cast<std::int64_t>(m)},
+                {"flits", msg.flits},
+                {"src", msg.src},
+                {"dst", msg.dst}};
+      evs.push_back(std::move(x));
+      if (spans.size() >= 2) {
+        Ev fl;
+        fl.ph = h == 0 ? 's' : h + 1 == spans.size() ? 'f' : 't';
+        fl.order = 4;
+        fl.pid = kPidNoc;
+        fl.tid = tid_for(link_tid, l.link);
+        fl.ts = l.start;
+        fl.name = "msg";
+        fl.cat = "noc";
+        fl.id = kNocFlowBase + m;
+        fl.has_id = true;
+        evs.push_back(std::move(fl));
+      }
+    }
+  }
+
+  // --- occupancy counters ---------------------------------------------
+  for (const CounterSample& c : trace.counters) {
+    Ev e;
+    e.ph = 'C';
+    e.pid = kPidState;
+    e.tid = tid_for(counter_tid, c.track);
+    e.ts = c.t;
+    e.name = trace.str(c.track);
+    e.args = {{"v", c.v}};
+    evs.push_back(std::move(e));
+  }
+
+  // --- track metadata --------------------------------------------------
+  process_name(kPidCores, "cores");
+  for (std::int64_t w = 0; w <= max_worker; ++w)
+    thread_name(kPidCores, w, "core" + std::to_string(w));
+  if (!unit_tid.empty()) {
+    process_name(kPidUnits, "manager");
+    for (const auto& [str_ix, tid] : unit_tid)
+      thread_name(kPidUnits, tid, trace.str(str_ix));
+  }
+  if (!link_tid.empty()) {
+    process_name(kPidNoc, "noc");
+    for (const auto& [str_ix, tid] : link_tid)
+      thread_name(kPidNoc, tid, trace.str(str_ix));
+  }
+  if (!counter_tid.empty()) process_name(kPidState, "state");
+  if (!trace.tasks.empty()) process_name(kPidTasks, "tasks");
+
+  std::stable_sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+  });
+
+  // --- emission ---------------------------------------------------------
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const Ev& e : meta) {
+    // Metadata events: the single arg key carries the name payload.
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", "M");
+    w.kv("ts", 0.0);
+    w.kv("pid", e.pid);
+    w.kv("tid", e.tid);
+    w.key("args").begin_object();
+    w.kv("name", e.args[0].first);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Ev& e : evs) emit(w, e);
+  w.end_array();
+  w.kv("displayTimeUnit", "ns");
+  w.key("otherData").begin_object();
+  w.kv("makespan_ps", trace.makespan);
+  w.kv("tasks", static_cast<std::uint64_t>(trace.tasks.size()));
+  if (all_complete) {
+    const CriticalPathReport cp = critical_path(trace);
+    w.key("critical_path").begin_object();
+    w.kv("anchor_task", cp.last_task);
+    w.key("totals_ps").begin_object();
+    constexpr PathPhase kAll[] = {
+        PathPhase::kMaster,     PathPhase::kIngest,
+        PathPhase::kDepWait,    PathPhase::kDepResolve,
+        PathPhase::kWriteback,  PathPhase::kQueueWait,
+        PathPhase::kDispatch,   PathPhase::kExecute,
+        PathPhase::kMasterTail,
+    };
+    for (const PathPhase p : kAll) w.kv(to_string(p), cp.total(p));
+    w.end_object();
+    w.key("segments").begin_array();
+    for (const PathSegment& s : cp.segments) {
+      w.begin_object();
+      w.kv("phase", to_string(s.phase));
+      w.kv("task", s.task);
+      w.kv("from_ps", s.from);
+      w.kv("to_ps", s.to);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,22 @@
+// Chrome trace-event export for frozen TraceData.
+//
+// Produces a JSON document loadable by Perfetto (ui.perfetto.dev) and
+// chrome://tracing: "X" slices on per-core, per-manager-unit and per-NoC-
+// link tracks, async begin/end chains for each task's lifecycle phases,
+// flow arrows for dependency kicks and multi-hop NoC messages, and "C"
+// counter tracks for occupancy samples. Timestamps are microseconds
+// (sim ps / 1e6); events are emitted sorted by timestamp. The critical-
+// path attribution rides along under otherData so scripts/validate_trace.py
+// can check phase sums == makespan without re-deriving the walk.
+#pragma once
+
+#include <string>
+
+#include "nexus/telemetry/trace.hpp"
+
+namespace nexus::telemetry {
+
+/// Whole Chrome trace-event document (object form, "traceEvents" array).
+[[nodiscard]] std::string chrome_trace_json(const TraceData& trace);
+
+}  // namespace nexus::telemetry

@@ -183,6 +183,10 @@ void append_snapshot(JsonWriter& w, const Snapshot& snap) {
         w.kv("mean", h.count > 0 ? static_cast<double>(h.sum) /
                                        static_cast<double>(h.count)
                                  : 0.0);
+        w.kv("p50", h.p50());
+        w.kv("p95", h.p95());
+        w.kv("p99", h.p99());
+        w.kv("p999", h.p999());
         w.key("buckets").begin_object();
         for (const auto& [idx, n] : h.buckets)
           w.kv(fmt_u64(Histogram::bucket_floor(idx)), n);

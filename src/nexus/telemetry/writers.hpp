@@ -75,7 +75,8 @@ class CsvWriter {
 };
 
 /// Snapshot as a flat JSON object: path -> scalar (counter/gauge) or
-/// {count,sum,min,max,mean,buckets{floor:count}} (histogram).
+/// {count,sum,min,max,mean,p50,p95,p99,p999,buckets{floor:count}}
+/// (histogram).
 std::string snapshot_json(const Snapshot& snap);
 
 /// Append the same representation as an object *value* into an open

@@ -379,5 +379,135 @@ TEST(Perfdiff, RoundTripsRealReportRecords) {
   EXPECT_EQ(res.compared, 1);
 }
 
+// ---------- --timelines mode ----------
+
+/// Fixture with an attached two-series timeline (a counter and a gauge).
+BenchRecord timeline_fixture(std::vector<std::int64_t> counter_v,
+                             std::vector<std::int64_t> gauge_v) {
+  BenchRecord r = fixture(1000, 40);
+  r.has_timeline = true;
+  r.timeline.interval = 10;
+  r.timeline.t = {0, 10, 20, 30};
+  r.timeline.series.push_back(
+      {"nexus#/finishes", telemetry::MetricKind::kCounter,
+       std::move(counter_v)});
+  r.timeline.series.push_back(
+      {"nexus#/pool/occupancy", telemetry::MetricKind::kGauge,
+       std::move(gauge_v)});
+  return r;
+}
+
+TEST(PerfdiffTimelines, ParsesDeltaEncodedTimelineFromRecord) {
+  // The on-disk form delta-encodes the t axis and counter-kind series;
+  // the parser must undo both and leave gauges raw.
+  std::vector<BenchRecord> recs;
+  std::string error;
+  ASSERT_TRUE(parse_bench_records(
+      R"([{"schema":3,"bench":"b","workload":"w","manager":"m","cores":1,
+           "makespan":5,"speedup":1.0,"metrics":{},
+           "timeline":{"interval_ps":10,"points":3,"encoding":"delta",
+                       "t":[0,10,10],
+                       "series":{"cnt":{"kind":"counter","v":[1,2,3]},
+                                 "gau":{"kind":"gauge","v":[5,-2,7]}}}}])",
+      &recs, &error))
+      << error;
+  ASSERT_EQ(recs.size(), 1u);
+  ASSERT_TRUE(recs[0].has_timeline);
+  const telemetry::Timeline& tl = recs[0].timeline;
+  EXPECT_EQ(tl.interval, 10);
+  EXPECT_EQ(tl.t, (std::vector<telemetry::TimeTick>{0, 10, 20}));
+  const telemetry::TimelineSeries* cnt = tl.find("cnt");
+  ASSERT_NE(cnt, nullptr);
+  EXPECT_EQ(cnt->v, (std::vector<std::int64_t>{1, 3, 6}));  // decoded
+  const telemetry::TimelineSeries* gau = tl.find("gau");
+  ASSERT_NE(gau, nullptr);
+  EXPECT_EQ(gau->v, (std::vector<std::int64_t>{5, -2, 7}));  // raw
+}
+
+TEST(PerfdiffTimelines, SkippedByDefaultComparedWhenEnabled) {
+  const std::vector<BenchRecord> base{timeline_fixture({0, 1, 2, 3},
+                                                       {4, 4, 4, 4})};
+  const std::vector<BenchRecord> cand{timeline_fixture({0, 1, 2, 9},
+                                                       {4, 4, 4, 4})};
+  // Default: timelines describe *when*, not *how much* — no gate.
+  EXPECT_TRUE(harness::perfdiff_compare(base, cand).ok());
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand, opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("nexus#/finishes"), std::string::npos);
+  EXPECT_NE(res.report.find("first diverges at t="), std::string::npos);
+}
+
+TEST(PerfdiffTimelines, IdenticalTimelinesPassExactly) {
+  const std::vector<BenchRecord> recs{timeline_fixture({0, 1, 2, 3},
+                                                       {4, 5, 6, 7})};
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;  // default tolerance: exact
+  EXPECT_TRUE(harness::perfdiff_compare(recs, recs, opts).ok());
+}
+
+TEST(PerfdiffTimelines, ReportsFirstDivergenceSimTime) {
+  // Divergence at rows 2 and 3; only the first (t=20 ps) is reported.
+  const std::vector<BenchRecord> base{timeline_fixture({0, 1, 2, 3},
+                                                       {4, 4, 4, 4})};
+  const std::vector<BenchRecord> cand{timeline_fixture({0, 1, 5, 9},
+                                                       {4, 4, 4, 4})};
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand, opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("2 -> 5"), std::string::npos) << res.report;
+  EXPECT_EQ(res.report.find("3 -> 9"), std::string::npos) << res.report;
+}
+
+TEST(PerfdiffTimelines, PerSeriesToleranceFirstGlobWins) {
+  const std::vector<BenchRecord> base{timeline_fixture({0, 100, 200, 300},
+                                                       {4, 4, 4, 4})};
+  const std::vector<BenchRecord> cand{timeline_fixture({0, 104, 208, 312},
+                                                       {4, 4, 4, 4})};
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;
+  // Global default stays exact, but the finish-flow series tolerates 5%.
+  opts.timeline_tolerances = {{"nexus#/finishes", 5.0}};
+  EXPECT_TRUE(harness::perfdiff_compare(base, cand, opts).ok());
+  // First match wins: a preceding stricter glob overrides the loose one.
+  opts.timeline_tolerances = {{"nexus#/*", 0.0}, {"nexus#/finishes", 5.0}};
+  EXPECT_FALSE(harness::perfdiff_compare(base, cand, opts).ok());
+}
+
+TEST(PerfdiffTimelines, LostTimelineOrSeriesIsARegression) {
+  const BenchRecord with = timeline_fixture({0, 1, 2, 3}, {4, 4, 4, 4});
+  BenchRecord without = fixture(1000, 40);
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;
+  // Candidate lost the whole timeline.
+  const PerfdiffResult lost =
+      harness::perfdiff_compare({with}, {without}, opts);
+  EXPECT_FALSE(lost.ok());
+  EXPECT_NE(lost.report.find("missing from candidate"), std::string::npos);
+  // A candidate *gaining* a timeline is fine (new instrumentation).
+  EXPECT_TRUE(harness::perfdiff_compare({without}, {with}, opts).ok());
+  // Candidate lost one series.
+  BenchRecord fewer = with;
+  fewer.timeline.series.pop_back();
+  const PerfdiffResult series =
+      harness::perfdiff_compare({with}, {fewer}, opts);
+  EXPECT_FALSE(series.ok());
+  EXPECT_NE(series.report.find("nexus#/pool/occupancy"), std::string::npos);
+}
+
+TEST(PerfdiffTimelines, AxisMismatchDetected) {
+  const BenchRecord base = timeline_fixture({0, 1, 2, 3}, {4, 4, 4, 4});
+  BenchRecord cand = base;
+  cand.timeline.interval = 20;  // coarsening diverged
+  cand.timeline.t = {0, 20, 40, 60};
+  PerfdiffOptions opts;
+  opts.compare_timelines = true;
+  const PerfdiffResult res = harness::perfdiff_compare({base}, {cand}, opts);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("interval"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace nexus

@@ -92,6 +92,75 @@ TEST(Histogram, FullRangeIncludingMax) {
   EXPECT_EQ(h.max(), UINT64_MAX);
 }
 
+TEST(Histogram, QuantilesEmptyHistogramIsZero) {
+  const Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(Histogram, QuantilesSingleValueReportExactly) {
+  // All mass in one bucket: min/max clipping collapses the interpolation
+  // range to the recorded value, whatever q asks for.
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.record(100);
+  EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p95(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 100.0);
+}
+
+TEST(Histogram, QuantilesAllZerosStayZero) {
+  // Bucket 0 holds exact zeros; no interpolation may invent mass above it.
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.record(0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBucketAndOrder) {
+  Histogram h;
+  // 100 samples spread over [16, 32) — one bucket; quantiles interpolate
+  // linearly between the clipped edges and stay monotone in q.
+  for (std::uint64_t v = 16; v < 32; ++v)
+    for (int i = 0; i < 100 / 16 + 1; ++i) h.record(v);
+  const double p50 = h.p50();
+  const double p95 = h.p95();
+  const double p99 = h.p99();
+  EXPECT_GE(p50, 16.0);
+  EXPECT_LE(p99, 31.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.p999());
+}
+
+TEST(Histogram, QuantilesMaxBucketClipsToRecordedMax) {
+  // Samples in the open-topped final bucket [2^63, 2^64): the bucket's
+  // nominal upper edge exceeds any representable sample, so the recorded
+  // max must cap the interpolation.
+  Histogram h;
+  h.record(std::uint64_t{1} << 63);
+  h.record(UINT64_MAX);
+  EXPECT_GE(h.p50(), static_cast<double>(std::uint64_t{1} << 63));
+  EXPECT_LE(h.p999(), static_cast<double>(UINT64_MAX));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(UINT64_MAX));
+}
+
+TEST(Histogram, QuantilesTwoBucketSplit) {
+  // 3 zeros + 1 large value: p50 must sit in the zero bucket, p95
+  // interpolates inside the top bucket's clipped range [512, 1000].
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  h.record(0);
+  h.record(1000);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_GT(h.p95(), 512.0);
+  EXPECT_LE(h.p95(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+}
+
 // ---------- registry ----------
 
 TEST(MetricRegistryTest, SamePathSameKindReturnsSameObject) {
@@ -184,7 +253,8 @@ TEST(SnapshotExport, JsonGolden) {
   h.record(5);
   EXPECT_EQ(telemetry::snapshot_json(reg.snapshot()),
             "{\"a/count\":3,\"a/gauge\":-7,\"b/hist\":{\"count\":3,\"sum\":6,"
-            "\"min\":0,\"max\":5,\"mean\":2,\"buckets\":{\"0\":1,\"1\":1,"
+            "\"min\":0,\"max\":5,\"mean\":2,\"p50\":1.5,\"p95\":4.85,"
+            "\"p99\":4.97,\"p999\":4.997,\"buckets\":{\"0\":1,\"1\":1,"
             "\"4\":1}}}");
 }
 
@@ -220,11 +290,11 @@ TEST(MetricsReportJson, MatchesBenchSchema) {
   const Snapshot snap = reg.snapshot();
   EXPECT_EQ(harness::metrics_report_json("table2", "c-ray", "nexus#", 32,
                                          1234, 1.5, &snap),
-            "{\"schema\":2,\"bench\":\"table2\",\"workload\":\"c-ray\","
+            "{\"schema\":3,\"bench\":\"table2\",\"workload\":\"c-ray\","
             "\"manager\":\"nexus#\",\"cores\":32,\"makespan\":1234,"
             "\"speedup\":1.5,\"metrics\":{\"m\":9}}");
   EXPECT_EQ(harness::metrics_report_json("b", "w", "m", 1, 0, 0.0, nullptr),
-            "{\"schema\":2,\"bench\":\"b\",\"workload\":\"w\",\"manager\":"
+            "{\"schema\":3,\"bench\":\"b\",\"workload\":\"w\",\"manager\":"
             "\"m\",\"cores\":1,\"makespan\":0,\"speedup\":0,\"metrics\":{}}");
 }
 

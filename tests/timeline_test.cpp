@@ -152,6 +152,39 @@ TEST(TimelineRecorderTest, LateMetricsAreZeroPaddedToAlign) {
   EXPECT_EQ(tl.find("early")->v.size(), 5u);
 }
 
+TEST(TimelineRecorderTest, SkipUntilExportsUnobservedPrefixAsZeros) {
+  // A recorder attached after warm-up never observed the early grid
+  // points: skip_until consumes them as bare rows, and the zero back-fill
+  // machinery exports them as zeros instead of back-dating the attach-time
+  // metric values onto history the recorder never saw.
+  MetricRegistry reg;
+  auto& c = reg.counter("c");
+  c.inc(9);  // counted *before* the recorder attached
+  TimelineConfig cfg;
+  cfg.interval_ps = 10;
+  TimelineRecorder rec(reg, cfg);
+  rec.skip_until(25);    // grid points 0, 10, 20 pass unobserved
+  rec.sample_until(40);  // first real rows: 30, 40
+
+  const Timeline tl = rec.freeze();
+  EXPECT_EQ(tl.t, (std::vector<telemetry::TimeTick>{0, 10, 20, 30, 40}));
+  ASSERT_NE(tl.find("c"), nullptr);
+  EXPECT_EQ(tl.find("c")->v, (std::vector<std::int64_t>{0, 0, 0, 9, 9}));
+}
+
+TEST(TimelineRecorderTest, SkipUntilBeforeTimeZeroIsANoOp) {
+  MetricRegistry reg;
+  reg.counter("c").inc(1);
+  TimelineConfig cfg;
+  cfg.interval_ps = 10;
+  TimelineRecorder rec(reg, cfg);
+  rec.skip_until(-1);  // pre-run attach: nothing behind the grid yet
+  rec.sample_until(10);
+  const Timeline tl = rec.freeze();
+  EXPECT_EQ(tl.t, (std::vector<telemetry::TimeTick>{0, 10}));
+  EXPECT_EQ(tl.find("c")->v, (std::vector<std::int64_t>{1, 1}));
+}
+
 TEST(TimelineRecorderTest, CoarseningBoundsRowsAndKeepsCoverage) {
   MetricRegistry reg;
   auto& c = reg.counter("c");
@@ -327,6 +360,66 @@ TEST(TimelineIntegration, FinalRowLandsOnTheMakespanWithSettledCounters) {
   // Monotone series really are monotone over sim time.
   for (std::size_t i = 1; i < fin->v.size(); ++i)
     EXPECT_LE(fin->v[i - 1], fin->v[i]);
+}
+
+TEST(TimelineIntegration, LateAttachedSamplerZeroPadsWarmupInExportedJson) {
+  // Attach the recorder through Simulation::set_sampler *after* the sim has
+  // advanced (the live attach path): the warm-up grid points must export as
+  // zeros in the JSON, not as copies of the attach-time counter values.
+  struct Noop final : Component {
+    void handle(Simulation&, const Event&) override {}
+  };
+  telemetry::MetricRegistry reg;
+  auto& c = reg.counter("c");
+  Simulation sim;
+  Noop comp;
+  const std::uint32_t id = sim.add_component(&comp);
+  sim.schedule(0, id, 0);
+  sim.schedule(55, id, 0);
+  sim.run();  // warm-up: now() == 55, nothing sampled
+  c.inc(9);   // state accumulated before the recorder existed
+
+  TimelineConfig cfg;
+  cfg.interval_ps = 10;
+  TimelineRecorder rec(reg, cfg);
+  sim.set_sampler(&rec);
+  sim.schedule(75, id, 0);
+  sim.run();
+
+  const Timeline tl = rec.freeze();
+  EXPECT_EQ(tl.t,
+            (std::vector<telemetry::TimeTick>{0, 10, 20, 30, 40, 50, 60, 70}));
+  ASSERT_NE(tl.find("c"), nullptr);
+  EXPECT_EQ(tl.find("c")->v,
+            (std::vector<std::int64_t>{0, 0, 0, 0, 0, 0, 9, 9}));
+  // And the on-disk form: delta-encoded, the warm-up rows stay zeros.
+  const std::string json = telemetry::timeline_json(tl);
+  EXPECT_NE(json.find("\"c\":{\"kind\":\"counter\",\"v\":[0,0,0,0,0,0,9,0]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TimelineIntegration, PreRunAttachStaysBitIdenticalWithSetSampler) {
+  // set_sampler before the first event must behave exactly as the legacy
+  // pre-run attach (no skipped rows) — the bit-identity pin for the fix.
+  struct Noop final : Component {
+    void handle(Simulation&, const Event&) override {}
+  };
+  telemetry::MetricRegistry reg;
+  reg.counter("c").inc(2);
+  Simulation sim;
+  Noop comp;
+  const std::uint32_t id = sim.add_component(&comp);
+  TimelineConfig cfg;
+  cfg.interval_ps = 10;
+  TimelineRecorder rec(reg, cfg);
+  sim.set_sampler(&rec);
+  sim.schedule(0, id, 0);
+  sim.schedule(25, id, 0);
+  sim.run();
+  const Timeline tl = rec.freeze();
+  EXPECT_EQ(tl.t, (std::vector<telemetry::TimeTick>{0, 10, 20}));
+  EXPECT_EQ(tl.find("c")->v, (std::vector<std::int64_t>{2, 2, 2}));
 }
 
 TEST(TimelineIntegration, BenchConfigSelectsContentionPathsOfBothManagers) {

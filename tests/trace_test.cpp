@@ -1,0 +1,403 @@
+// Trace-layer tests: span-chain conservation (every task exactly one
+// complete, monotone lifecycle chain whose phase durations telescope to the
+// sojourn), cross-checks against the schedule oracle and the exec log, dep
+// edges bracketed by producer finish and consumer resolve, NoC flow events
+// conserving delivered flits against Network::stats(), the zero-overhead
+// contract (attaching a recorder must not change the schedule by one
+// event), critical-path attribution tiling [0, makespan] exactly on
+// ideal/mesh/torus interconnects, and the Chrome exporter's invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nexus/nexuspp/nexuspp.hpp"
+#include "nexus/nexussharp/nexussharp.hpp"
+#include "nexus/noc/network.hpp"
+#include "nexus/runtime/ideal_manager.hpp"
+#include "nexus/runtime/simulation_driver.hpp"
+#include "nexus/telemetry/critical_path.hpp"
+#include "nexus/telemetry/trace.hpp"
+#include "nexus/telemetry/trace_export.hpp"
+#include "nexus/workloads/workloads.hpp"
+#include "schedule_checker.hpp"
+
+namespace nexus {
+namespace {
+
+using telemetry::CriticalPathReport;
+using telemetry::DepEdge;
+using telemetry::NocMessage;
+using telemetry::TaskPhases;
+using telemetry::TaskSpan;
+using telemetry::TraceData;
+using telemetry::TraceRecorder;
+
+Trace small_gaussian() {
+  workloads::GaussianConfig gcfg;
+  gcfg.n = 40;
+  return workloads::make_gaussian(gcfg);
+}
+
+NexusSharpConfig sharp_cfg(noc::TopologyKind kind) {
+  NexusSharpConfig cfg;
+  cfg.num_task_graphs = 4;
+  cfg.freq_mhz = 100.0;
+  cfg.noc.kind = kind;
+  return cfg;
+}
+
+struct TracedRun {
+  RunResult result;
+  TraceData trace;
+  std::vector<ScheduleEntry> schedule;
+};
+
+TracedRun run_traced(const Trace& tr, TaskManagerModel& mgr,
+                     std::uint32_t workers = 8) {
+  TracedRun out;
+  TraceRecorder rec;
+  RuntimeConfig rc;
+  rc.workers = workers;
+  rc.trace = &rec;
+  rc.schedule_out = &out.schedule;
+  out.result = run_trace(tr, mgr, rc);
+  out.trace = rec.freeze();
+  return out;
+}
+
+/// The conservation core: one complete span per task, monotone boundaries,
+/// phases telescoping to the sojourn, exec intervals matching the executed
+/// schedule entry for entry, and dep edges bracketed causally.
+void check_conservation(const Trace& tr, const TracedRun& r) {
+  ASSERT_EQ(r.trace.tasks.size(), tr.num_tasks());
+  ASSERT_EQ(r.schedule.size(), tr.num_tasks());
+  EXPECT_EQ(r.trace.makespan, r.result.makespan);
+
+  std::map<std::uint64_t, const ScheduleEntry*> sched;
+  for (const ScheduleEntry& e : r.schedule) {
+    EXPECT_TRUE(sched.emplace(e.task, &e).second)
+        << "task " << e.task << " executed twice";
+  }
+
+  for (const TaskSpan& s : r.trace.tasks) {
+    ASSERT_TRUE(s.complete()) << "task " << s.task << " has an open span";
+    EXPECT_GE(s.worker, 0) << "task " << s.task;
+    // Monotone chain.
+    EXPECT_LE(s.submit, s.accepted) << "task " << s.task;
+    EXPECT_LE(s.accepted, s.resolved) << "task " << s.task;
+    EXPECT_LE(s.resolved, s.ready) << "task " << s.task;
+    EXPECT_LE(s.ready, s.dispatch) << "task " << s.task;
+    EXPECT_LE(s.dispatch, s.exec_start) << "task " << s.task;
+    EXPECT_LE(s.exec_start, s.exec_end) << "task " << s.task;
+    EXPECT_LE(s.exec_end, r.trace.makespan) << "task " << s.task;
+    // Phases telescope to the sojourn exactly.
+    const TaskPhases p = telemetry::phases_of(s);
+    EXPECT_EQ(p.ingest + p.dep_wait + p.writeback + p.queue_wait + p.dispatch +
+                  p.execute,
+              s.sojourn())
+        << "task " << s.task;
+    // The span's exec interval is the schedule's, entry for entry.
+    const auto it = sched.find(s.task);
+    ASSERT_NE(it, sched.end()) << "task " << s.task << " traced but not run";
+    EXPECT_EQ(s.exec_start, it->second->start) << "task " << s.task;
+    EXPECT_EQ(s.exec_end, it->second->end) << "task " << s.task;
+    EXPECT_EQ(s.worker, static_cast<std::int32_t>(it->second->worker))
+        << "task " << s.task;
+  }
+
+  // The schedule the spans mirror must itself be legal.
+  std::string err;
+  EXPECT_TRUE(testing::validate_schedule(tr, r.schedule, &err)) << err;
+
+  // Dep edges: both endpoints traced; the kick happens no earlier than the
+  // producer's finish and no later than the consumer's resolve stamp.
+  for (const DepEdge& d : r.trace.deps) {
+    const TaskSpan* prod = r.trace.find(d.producer);
+    const TaskSpan* cons = r.trace.find(d.consumer);
+    ASSERT_NE(prod, nullptr) << "edge producer " << d.producer;
+    ASSERT_NE(cons, nullptr) << "edge consumer " << d.consumer;
+    EXPECT_LE(prod->exec_end, d.t)
+        << "kick " << d.producer << "->" << d.consumer << " precedes finish";
+    EXPECT_LE(d.t, cons->resolved)
+        << "kick " << d.producer << "->" << d.consumer << " after resolve";
+  }
+}
+
+TEST(TraceConservation, NexusSharpIdeal) {
+  const Trace tr = small_gaussian();
+  NexusSharp mgr(sharp_cfg(noc::TopologyKind::kIdeal));
+  const TracedRun r = run_traced(tr, mgr);
+  check_conservation(tr, r);
+  // The ideal crossbar still carries every manager message as a traced
+  // flight, delivered inline.
+  EXPECT_FALSE(r.trace.messages.empty());
+  EXPECT_TRUE(r.trace.link_spans.empty());
+}
+
+TEST(TraceConservation, NexusSharpMesh) {
+  const Trace tr = small_gaussian();
+  NexusSharp mgr(sharp_cfg(noc::TopologyKind::kMesh));
+  const TracedRun r = run_traced(tr, mgr);
+  check_conservation(tr, r);
+  // Routed topology: per-hop link spans exist and each stays inside its
+  // message's flight window.
+  EXPECT_FALSE(r.trace.link_spans.empty());
+  for (const telemetry::LinkSpan& l : r.trace.link_spans) {
+    ASSERT_LT(l.msg, r.trace.messages.size());
+    const NocMessage& m = r.trace.messages[l.msg];
+    EXPECT_GE(l.start, m.depart);
+    if (m.arrive >= 0) {
+      EXPECT_LE(l.start + l.dur, m.arrive);
+    }
+  }
+}
+
+TEST(TraceConservation, NexusPP) {
+  const Trace tr = small_gaussian();
+  NexusPP mgr;
+  const TracedRun r = run_traced(tr, mgr);
+  check_conservation(tr, r);
+}
+
+TEST(TraceConservation, IdealManager) {
+  const Trace tr = small_gaussian();
+  IdealManager mgr;
+  const TracedRun r = run_traced(tr, mgr);
+  check_conservation(tr, r);
+}
+
+TEST(TraceConservation, NexusSharpConfigFieldAttachMatchesBindTrace) {
+  // The NexusSharpConfig::trace field is construction-time sugar for
+  // bind_trace: both attach paths must produce the identical span graph.
+  const Trace tr = small_gaussian();
+  TraceRecorder via_cfg;
+  {
+    NexusSharpConfig cfg = sharp_cfg(noc::TopologyKind::kIdeal);
+    cfg.trace = &via_cfg;
+    NexusSharp mgr(cfg);
+    RuntimeConfig rc;
+    rc.workers = 8;
+    rc.trace = &via_cfg;
+    run_trace(tr, mgr, rc);
+  }
+  NexusSharp mgr(sharp_cfg(noc::TopologyKind::kIdeal));
+  const TracedRun r = run_traced(tr, mgr);
+  const TraceData a = via_cfg.freeze();
+  ASSERT_EQ(a.tasks.size(), r.trace.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task, r.trace.tasks[i].task);
+    EXPECT_EQ(a.tasks[i].resolved, r.trace.tasks[i].resolved);
+    EXPECT_EQ(a.tasks[i].exec_end, r.trace.tasks[i].exec_end);
+  }
+  EXPECT_EQ(a.messages.size(), r.trace.messages.size());
+  EXPECT_EQ(a.deps.size(), r.trace.deps.size());
+}
+
+// ---------------------------------------------------------------------------
+// NoC flow events vs the Network's own conservation ledger.
+// ---------------------------------------------------------------------------
+
+TEST(TraceNoc, DeliveredFlitsMatchNetworkStats) {
+  const Trace tr = small_gaussian();
+  for (const noc::TopologyKind kind :
+       {noc::TopologyKind::kIdeal, noc::TopologyKind::kMesh,
+        noc::TopologyKind::kTorus}) {
+    NexusSharp mgr(sharp_cfg(kind));
+    const TracedRun r = run_traced(tr, mgr);
+    const noc::Network::Stats s = mgr.network().stats();
+    EXPECT_EQ(r.trace.delivered_flits("nexus#/noc"), s.delivered_flits)
+        << noc::to_string(kind);
+    // Every traced message was sent; every delivered one has an arrival no
+    // earlier than its departure.
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    for (const NocMessage& m : r.trace.messages) {
+      if (r.trace.str(m.net) != "nexus#/noc") continue;
+      ++sent;
+      if (m.arrive >= 0) {
+        ++delivered;
+        EXPECT_GE(m.arrive, m.depart);
+      }
+    }
+    EXPECT_EQ(sent, s.messages) << noc::to_string(kind);
+    EXPECT_EQ(delivered, s.delivered) << noc::to_string(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-overhead contract: attaching a recorder must not change one event.
+// ---------------------------------------------------------------------------
+
+TEST(TraceZeroOverhead, ScheduleBitIdenticalWithAndWithoutRecorder) {
+  const Trace tr = small_gaussian();
+  for (const noc::TopologyKind kind :
+       {noc::TopologyKind::kIdeal, noc::TopologyKind::kMesh}) {
+    auto run_one = [&](TraceRecorder* rec, std::vector<ScheduleEntry>* sched) {
+      NexusSharp mgr(sharp_cfg(kind));
+      RuntimeConfig rc;
+      rc.workers = 8;
+      rc.trace = rec;
+      rc.schedule_out = sched;
+      return run_trace(tr, mgr, rc);
+    };
+    TraceRecorder rec;
+    std::vector<ScheduleEntry> with;
+    std::vector<ScheduleEntry> without;
+    const RunResult a = run_one(&rec, &with);
+    const RunResult b = run_one(nullptr, &without);
+    EXPECT_EQ(a.makespan, b.makespan) << noc::to_string(kind);
+    EXPECT_EQ(a.events, b.events) << noc::to_string(kind);
+    ASSERT_EQ(with.size(), without.size()) << noc::to_string(kind);
+    for (std::size_t i = 0; i < with.size(); ++i) {
+      EXPECT_EQ(with[i].task, without[i].task) << "entry " << i;
+      EXPECT_EQ(with[i].worker, without[i].worker) << "entry " << i;
+      EXPECT_EQ(with[i].start, without[i].start) << "entry " << i;
+      EXPECT_EQ(with[i].end, without[i].end) << "entry " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution.
+// ---------------------------------------------------------------------------
+
+void check_attribution(const TraceData& td) {
+  const CriticalPathReport cp = telemetry::critical_path(td);
+  ASSERT_FALSE(cp.segments.empty());
+  EXPECT_EQ(cp.makespan, td.makespan);
+  // Contiguous tiling of [0, makespan]: each segment starts where the
+  // previous ended, so the durations sum to the makespan by construction.
+  telemetry::TraceTick at = 0;
+  for (const telemetry::PathSegment& s : cp.segments) {
+    EXPECT_EQ(s.from, at);
+    EXPECT_GE(s.to, s.from);
+    at = s.to;
+  }
+  EXPECT_EQ(at, td.makespan);
+  telemetry::TraceTick sum = 0;
+  for (const telemetry::PathSegment& s : cp.segments) sum += s.dur();
+  EXPECT_EQ(sum, td.makespan);
+}
+
+TEST(CriticalPath, AttributionSumsToMakespanAcrossTopologies) {
+  const Trace tr = small_gaussian();
+  for (const noc::TopologyKind kind :
+       {noc::TopologyKind::kIdeal, noc::TopologyKind::kMesh,
+        noc::TopologyKind::kTorus}) {
+    NexusSharp mgr(sharp_cfg(kind));
+    const TracedRun r = run_traced(tr, mgr);
+    SCOPED_TRACE(noc::to_string(kind));
+    check_attribution(r.trace);
+  }
+}
+
+TEST(CriticalPath, AttributionHoldsForOtherManagers) {
+  const Trace tr = small_gaussian();
+  {
+    NexusPP mgr;
+    check_attribution(run_traced(tr, mgr).trace);
+  }
+  {
+    IdealManager mgr;
+    check_attribution(run_traced(tr, mgr).trace);
+  }
+}
+
+TEST(CriticalPath, SingleTaskIsChargedFully) {
+  // One task, one core: master prefix + the six phases + master tail must
+  // cover the whole run.
+  TraceRecorder rec;
+  rec.on_submit(0, 10);
+  rec.on_accepted(0, 20);
+  rec.on_resolved(0, 30);
+  rec.on_ready(0, 45);
+  rec.on_dispatch(0, 50, 0);
+  rec.on_exec(0, 60, 160);
+  rec.on_freed(0, 170);
+  rec.set_makespan(180);
+  const TraceData td = rec.freeze();
+  const CriticalPathReport cp = telemetry::critical_path(td);
+  EXPECT_EQ(cp.last_task, 0u);
+  using telemetry::PathPhase;
+  EXPECT_EQ(cp.total(PathPhase::kMaster), 10);
+  EXPECT_EQ(cp.total(PathPhase::kIngest), 10);
+  EXPECT_EQ(cp.total(PathPhase::kDepWait), 10);
+  EXPECT_EQ(cp.total(PathPhase::kWriteback), 15);
+  EXPECT_EQ(cp.total(PathPhase::kQueueWait), 5);
+  EXPECT_EQ(cp.total(PathPhase::kDispatch), 10);
+  EXPECT_EQ(cp.total(PathPhase::kExecute), 100);
+  EXPECT_EQ(cp.total(PathPhase::kMasterTail), 20);
+  check_attribution(td);
+}
+
+TEST(CriticalPath, BindingProducerWinsOverEarlierKicks) {
+  // Two producers kick one consumer; the walk must charge the gap to the
+  // *latest* kick (task 2), not the earlier one.
+  TraceRecorder rec;
+  for (std::uint64_t p : {1u, 2u}) {
+    rec.on_submit(p, 0);
+    rec.on_accepted(p, 0);
+    rec.on_resolved(p, 0);
+    rec.on_ready(p, 0);
+    rec.on_dispatch(p, 0, static_cast<std::int32_t>(p));
+  }
+  rec.on_exec(1, 0, 50);
+  rec.on_exec(2, 0, 90);
+  rec.on_submit(3, 0);
+  rec.on_accepted(3, 5);
+  rec.on_dep(1, 3, 55);
+  rec.on_dep(2, 3, 95);
+  rec.on_resolved(3, 95);
+  rec.on_ready(3, 100);
+  rec.on_dispatch(3, 100, 0);
+  rec.on_exec(3, 110, 200);
+  rec.set_makespan(200);
+  const TraceData td = rec.freeze();
+  const CriticalPathReport cp = telemetry::critical_path(td);
+  EXPECT_EQ(cp.last_task, 3u);
+  bool charged_to_2 = false;
+  for (const telemetry::PathSegment& s : cp.segments)
+    if (s.phase == telemetry::PathPhase::kExecute && s.task == 2)
+      charged_to_2 = true;
+  EXPECT_TRUE(charged_to_2) << "binding producer must be the latest kick";
+  check_attribution(td);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome exporter invariants (the validator script checks the same things
+// on a full bench export; this keeps them under unit-test granularity).
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, JsonCarriesEventsAndExactAttribution) {
+  const Trace tr = small_gaussian();
+  NexusSharp mgr(sharp_cfg(noc::TopologyKind::kMesh));
+  const TracedRun r = run_traced(tr, mgr);
+  const std::string json = telemetry::chrome_trace_json(r.trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan_ps\""), std::string::npos);
+  // Track metadata for cores, the manager units and the NoC links.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"core0\""), std::string::npos);
+  EXPECT_NE(json.find("sharp/arbiter"), std::string::npos);
+  // Lifecycle chain phases appear as async begin/end pairs.
+  EXPECT_NE(json.find("\"dep_wait\""), std::string::npos);
+}
+
+TEST(TraceRecorderUnit, FirstSubmitWinsAndFreezeSorts) {
+  TraceRecorder rec;
+  rec.on_submit(7, 100);
+  rec.on_submit(7, 250);  // back-pressured retry: must not move the stamp
+  rec.on_submit(3, 50);
+  const TraceData td = rec.freeze();
+  ASSERT_EQ(td.tasks.size(), 2u);
+  EXPECT_EQ(td.tasks[0].task, 3u);
+  EXPECT_EQ(td.tasks[1].task, 7u);
+  EXPECT_EQ(td.tasks[1].submit, 100);
+}
+
+}  // namespace
+}  // namespace nexus

@@ -9,6 +9,13 @@
 //   --metrics=G1,G2,...    replace the watched-rate globs (each glob is
 //                          summed over flattened metric paths and divided by
 //                          the run's task count)
+//   --timelines            additionally diff the sampled sim-time timelines
+//                          point by point, reporting the sim-time of each
+//                          series' first divergence
+//   --max-timeline-pct=P   per-point timeline tolerance in percent of the
+//                          baseline value (default 0 = exact); GLOB=P entries
+//                          set per-series overrides, first match wins, e.g.
+//                          --max-timeline-pct=sim/events=5,**/noc/*=1,0
 //   --report-only          print the full report but always exit 0 on a
 //                          clean parse (CI burn-in mode)
 //   --quiet                suppress per-record [ok] lines
@@ -31,6 +38,9 @@ void usage(std::FILE* to) {
       "  --max-makespan-pct=P  makespan tolerance in percent (default 2)\n"
       "  --max-metric-pct=P    watched-rate tolerance in percent (default 10)\n"
       "  --metrics=G1,G2,...   override watched-rate metric globs\n"
+      "  --timelines           also diff sampled timelines point by point\n"
+      "  --max-timeline-pct=L  timeline tolerance: default pct and/or\n"
+      "                        comma-separated GLOB=P per-series overrides\n"
       "  --report-only         report but exit 0 even on regressions\n"
       "  --quiet               only regressions and the summary\n",
       to);
@@ -105,6 +115,31 @@ int main(int argc, char** argv) {
       if (!parse_pct(key, val, &opts.makespan_tolerance_pct)) return 2;
     } else if (key == "--max-metric-pct") {
       if (!parse_pct(key, val, &opts.metric_tolerance_pct)) return 2;
+    } else if (key == "--timelines") {
+      opts.compare_timelines = true;
+    } else if (key == "--max-timeline-pct") {
+      // Comma-separated list of bare percentages (set the default) and
+      // GLOB=P entries (per-series overrides; first matching glob wins).
+      opts.compare_timelines = true;
+      std::size_t start = 0;
+      while (start <= val.size()) {
+        const std::size_t comma = val.find(',', start);
+        const std::size_t end = comma == std::string::npos ? val.size() : comma;
+        if (end > start) {
+          const std::string item = val.substr(start, end - start);
+          const std::size_t eq2 = item.find('=');
+          double pct = 0.0;
+          if (eq2 == std::string::npos) {
+            if (!parse_pct(key, item, &pct)) return 2;
+            opts.timeline_tolerance_pct = pct;
+          } else {
+            if (!parse_pct(key, item.substr(eq2 + 1), &pct)) return 2;
+            opts.timeline_tolerances.emplace_back(item.substr(0, eq2), pct);
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (key == "--metrics") {
       opts.watched.clear();
       std::size_t start = 0;
