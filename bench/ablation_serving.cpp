@@ -1,0 +1,202 @@
+// Ablation: open-loop serving — saturation knee and tail latency under an
+// arrival process, per topology x manager.
+//
+// Every other bench is closed-loop (replay a fixed trace, report makespan).
+// This one drives the runtime open-loop: Poisson (or bursty/diurnal)
+// arrivals from N logical clients at an offered rate, judged on the p99
+// serving latency (release -> finish). Per topology x manager combination
+// it bisects for the saturation knee — the highest arrival rate whose p99
+// stays under a latency budget — then measures the full quantile profile at
+// 50/80/95% of the knee and at the knee itself. The committed
+// BENCH_serving.json rows carry the knee as a serving/knee_hz gauge, which
+// nexus-perfdiff gates on (a knee collapse or a p99 regression fails CI
+// even when no makespan moved).
+//
+// Flags: --quick         smaller grid + fewer arrivals (the CI configuration)
+//        --process=NAME  arrival process: poisson | bursty | diurnal
+//        --kernel=NAME   donor workload kernel (durations + param shapes)
+//        --clients=N     logical clients
+//        --tasks=N       arrivals per measured run
+//        --cores=N       worker cores
+//        --tgs=N         Nexus# task-graph count
+//        --budget-us=B   p99 budget in microseconds (default 25x the mean
+//                        task duration)
+//        --csv           emit CSV rows
+//        --json=PATH     write BENCH-schema run records
+//        --timeline      attach sampled sim-time timelines to --json records
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nexus/common/flags.hpp"
+#include "nexus/common/table.hpp"
+#include "nexus/harness/serving.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+using namespace nexus;
+using namespace nexus::harness;
+
+namespace {
+
+/// The knee-relative operating points every combination is measured at.
+struct OperatingPoint {
+  const char* label;
+  double fraction;
+};
+constexpr OperatingPoint kPoints[] = {
+    {"@50%", 0.50}, {"@80%", 0.80}, {"@95%", 0.95}, {"@knee", 1.00}};
+
+ManagerSpec manager_with_noc(const ManagerSpec& base, noc::TopologyKind kind) {
+  ManagerSpec spec = base;
+  if (spec.kind == ManagerSpec::Kind::kNexusSharp) spec.sharp.noc.kind = kind;
+  if (spec.kind == ManagerSpec::Kind::kNexusPP) spec.npp.noc.kind = kind;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(
+      argc, argv,
+      {{"quick", "smaller grid and fewer arrivals (CI configuration)"},
+       {"process", "arrival process: poisson | bursty | diurnal"},
+       {"kernel", "donor workload kernel (default gaussian-250)"},
+       {"clients", "logical clients (default 16)"},
+       {"tasks", "arrivals per measured run"},
+       {"cores", "worker cores"},
+       {"tgs", "Nexus# task-graph count"},
+       {"budget-us", "p99 serving-latency budget in microseconds"},
+       {"csv", "emit csv"},
+       {"json", "write BENCH-schema run records to this file"},
+       {"timeline", "attach sim-time timelines to --json records"}});
+  const bool quick = flags.get_bool("quick", false);
+
+  workloads::ArrivalConfig cfg;
+  if (!workloads::arrival_process_from(flags.get("process", "poisson"),
+                                       &cfg.process)) {
+    std::fprintf(stderr, "unknown arrival process: %s\n",
+                 flags.get("process", "").c_str());
+    return 2;
+  }
+  cfg.kernel = flags.get("kernel", quick ? "h264dec-8x8-10f" : "gaussian-250");
+  if (!workloads::is_workload(cfg.kernel)) {
+    std::fprintf(stderr, "unknown kernel: %s\n", cfg.kernel.c_str());
+    return 2;
+  }
+  cfg.clients =
+      static_cast<std::uint32_t>(flags.get_int("clients", quick ? 8 : 16));
+  cfg.tasks =
+      static_cast<std::uint64_t>(flags.get_int("tasks", quick ? 600 : 2000));
+  const auto cores =
+      static_cast<std::uint32_t>(flags.get_int("cores", quick ? 16 : 32));
+  const auto tgs = static_cast<std::uint32_t>(flags.get_int("tgs", 4));
+
+  // Mean task duration of the serving mix sets both the capacity estimate
+  // (bracket start) and the default latency budget. The donor mix is
+  // rate-independent, so one throwaway schedule suffices.
+  const Trace probe_trace =
+      workloads::make_serving_trace(workloads::generate_arrivals(cfg));
+  Tick total_work = 0;
+  for (std::size_t i = 0; i < probe_trace.num_tasks(); ++i)
+    total_work += probe_trace.task(static_cast<TaskId>(i)).duration;
+  const double mean_task_ps = static_cast<double>(total_work) /
+                              static_cast<double>(probe_trace.num_tasks());
+  const double capacity_hz = static_cast<double>(cores) / (mean_task_ps * 1e-12);
+
+  KneeSearch search;
+  const double budget_us = flags.get_double("budget-us", 0.0);
+  search.p99_budget_ps = budget_us > 0.0
+                             ? static_cast<Tick>(us(budget_us))
+                             : static_cast<Tick>(25.0 * mean_task_ps);
+  search.lo_hz = 0.05 * capacity_hz;
+  search.bisect_iters = quick ? 7 : 10;
+
+  std::printf("Ablation: open-loop serving (%s arrivals, %s donor, %u clients, "
+              "%llu tasks, %u cores)\n",
+              workloads::to_string(cfg.process), cfg.kernel.c_str(),
+              cfg.clients, static_cast<unsigned long long>(cfg.tasks), cores);
+  std::printf("p99 budget %.1f us, core capacity ~%.0f k tasks/s\n\n",
+              static_cast<double>(search.p99_budget_ps) * 1e-6,
+              capacity_hz * 1e-3);
+
+  const std::vector<noc::TopologyKind> kinds =
+      quick ? std::vector<noc::TopologyKind>{noc::TopologyKind::kIdeal,
+                                             noc::TopologyKind::kMesh}
+            : std::vector<noc::TopologyKind>{noc::TopologyKind::kIdeal,
+                                             noc::TopologyKind::kMesh,
+                                             noc::TopologyKind::kTorus};
+  const std::vector<ManagerSpec> managers = {ManagerSpec::nexussharp(tgs),
+                                             ManagerSpec::nexuspp_default()};
+
+  const telemetry::TimelineConfig tcfg = bench_timeline_config();
+  const telemetry::TimelineConfig* tl =
+      flags.get_bool("timeline", false) ? &tcfg : nullptr;
+  const bool json = flags.has("json");
+  BenchRecordWriter out;
+
+  TextTable table({"topology", "manager", "knee (k/s)", "point",
+                   "offered (k/s)", "p50 (us)", "p99 (us)", "p999 (us)"});
+  for (const noc::TopologyKind kind : kinds) {
+    for (const ManagerSpec& mgr : managers) {
+      const ManagerSpec spec = manager_with_noc(mgr, kind);
+      RuntimeConfig rc;
+      rc.noc.kind = kind;
+
+      const KneeResult knee = find_knee(cfg, search, spec, cores, rc);
+      if (knee.knee_hz <= 0.0) {
+        std::fprintf(stderr,
+                     "[serving] %-5s %-20s: budget unattainable at %.0f /s\n",
+                     noc::to_string(kind), spec.label.c_str(), search.lo_hz);
+        continue;
+      }
+      std::fprintf(stderr,
+                   "[serving] %-5s %-20s: knee %8.1f k tasks/s "
+                   "(%u probes%s)\n",
+                   noc::to_string(kind), spec.label.c_str(),
+                   knee.knee_hz * 1e-3, knee.probes,
+                   knee.bracketed ? "" : ", unbracketed lower bound");
+
+      const std::vector<ServingGauge> gauges = {
+          {"serving/knee_hz", std::llround(knee.knee_hz)}};
+      for (const OperatingPoint& op : kPoints) {
+        const double rate = knee.knee_hz * op.fraction;
+        const ServingPoint p =
+            run_serving(cfg, rate, spec, cores, rc, tl, gauges);
+        table.add_row({noc::to_string(kind), spec.label,
+                       TextTable::num(knee.knee_hz * 1e-3, 1), op.label,
+                       TextTable::num(p.offered_hz * 1e-3, 1),
+                       TextTable::num(p.p50_ps * 1e-6, 1),
+                       TextTable::num(p.p99_ps * 1e-6, 1),
+                       TextTable::num(p.p999_ps * 1e-6, 1)});
+        if (json) {
+          // The workload label is knee-relative (never an absolute rate) so
+          // the perfdiff join survives knee shifts between code versions;
+          // the "speedup" slot reports the sustained fraction
+          // accepted_hz/offered_hz (1.0 = keeping up with the load).
+          const std::string label = std::string("serving-") +
+                                    workloads::to_string(cfg.process) + "-" +
+                                    cfg.kernel + op.label;
+          out.append(metrics_report_json(
+              "ablation_serving", label, spec.label, cores, p.makespan,
+              p.offered_hz > 0.0 ? p.accepted_hz / p.offered_hz : 0.0,
+              p.report.metrics.get(), p.report.timeline.get(),
+              p.report.topology, p.report.placement));
+        }
+      }
+    }
+  }
+
+  table.print();
+  if (flags.get_bool("csv", false)) std::fputs(table.csv().c_str(), stdout);
+  std::printf(
+      "\nReading: the knee is the highest offered rate whose p99 serving\n"
+      "latency (arrival -> completion) meets the budget; it is the bench's\n"
+      "capacity claim for that topology/manager pair. Below the knee the\n"
+      "tail grows smoothly with load; past it the admission backlog\n"
+      "compounds and p99 diverges, which is why the gate bisects on p99\n"
+      "rather than throughput (accepted always converges to offered until\n"
+      "saturation).\n");
+  if (json) return out.write(flags.get("json", "")) ? 0 : 2;
+  return 0;
+}

@@ -39,7 +39,8 @@ while [[ $# -gt 0 ]]; do
 done
 
 BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json
-               BENCH_topology.json BENCH_placement.json BENCH_simspeed.json)
+               BENCH_topology.json BENCH_placement.json BENCH_simspeed.json
+               BENCH_serving.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -100,6 +101,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/ablation_distribution" --quick
   smoke "${B}/ablation_placement" --quick
   smoke "${B}/ablation_pool_window" --quick
+  smoke "${B}/ablation_serving" --quick
   smoke "${B}/ablation_topology" --quick
   smoke "${B}/multiapp" --quick
   smoke "${B}/power_energy"
@@ -113,6 +115,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/ablation_topology" --quick --json BENCH_topology.json --timeline
   smoke "${B}/ablation_placement" --quick --json BENCH_placement.json --timeline
   smoke "${B}/simspeed" --json BENCH_simspeed.json
+  smoke "${B}/ablation_serving" --quick --json BENCH_serving.json
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
   if [[ "${DIFF}" -eq 1 ]]; then

@@ -103,7 +103,8 @@ Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
   // the DES + IdealManager pair) without event overhead — unless host costs
   // or a host NoC are configured, which need the DES.
   if (spec.kind == ManagerSpec::Kind::kIdeal && base.host_message_cost == 0 &&
-      base.master_event_cost == 0 && base.noc.ideal())
+      base.master_event_cost == 0 && base.noc.ideal() &&
+      base.open_loop == nullptr)
     return list_schedule_makespan(trace, cores);
   return run_once_report(trace, spec, cores, base, /*collect_metrics=*/false)
       .result.makespan;
@@ -113,10 +114,12 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base,
                           bool collect_metrics,
                           const telemetry::TimelineConfig* timeline,
-                          bool collect_trace) {
+                          bool collect_trace,
+                          telemetry::MetricRegistry* registry) {
   RuntimeConfig rc = base;
   rc.workers = cores;
-  telemetry::MetricRegistry reg;
+  telemetry::MetricRegistry local_reg;
+  telemetry::MetricRegistry& reg = registry != nullptr ? *registry : local_reg;
   if (collect_metrics || timeline != nullptr) rc.metrics = &reg;
   std::unique_ptr<telemetry::TimelineRecorder> rec;
   if (timeline != nullptr) {
@@ -229,6 +232,8 @@ telemetry::TimelineConfig bench_timeline_config() {
       "**/noc/stall_ps", "**/noc/blocked_flits",
       // Routing balance over time and host dispatch activity.
       "nexus#/tg*/routed", "runtime/dispatches", "sim/events",
+      // Open-loop serving flow (zero-rate no-ops on closed-loop runs).
+      "runtime/offered", "runtime/accepted",
   };
   return cfg;
 }

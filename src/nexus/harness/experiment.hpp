@@ -101,12 +101,16 @@ std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base);
 /// TimelineRecorder for the run (implies metric collection) and freezes the
 /// sampled series into the report. With `collect_trace` a TraceRecorder is
 /// attached for the run and its frozen span graph lands in RunReport::trace
-/// (ready for chrome_trace_json / critical_path).
+/// (ready for chrome_trace_json / critical_path). A non-null `registry`
+/// makes the run record into the caller's registry instead of a fresh local
+/// one — the serving harness uses this to preset context gauges (offered
+/// rate, knee) that land in the same snapshot as the run's metrics.
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base = {},
                           bool collect_metrics = true,
                           const telemetry::TimelineConfig* timeline = nullptr,
-                          bool collect_trace = false);
+                          bool collect_trace = false,
+                          telemetry::MetricRegistry* registry = nullptr);
 
 /// Run `spec` once with a TraceRecorder attached and write the span graph
 /// as a Chrome trace-event JSON to `path` (see telemetry/trace_export.hpp;

@@ -157,6 +157,12 @@ double BenchRecord::metric_sum(std::string_view glob) const {
   return sum;
 }
 
+bool BenchRecord::has_metric(std::string_view glob) const {
+  for (const auto& [path, value] : metrics)
+    if (telemetry::path_glob_match(glob, path)) return true;
+  return false;
+}
+
 double BenchRecord::tasks() const {
   for (const auto& [path, value] : metrics)
     if (path == "runtime/tasks" && value > 0.0) return value;
@@ -205,6 +211,24 @@ std::vector<WatchedRate> default_watched_rates() {
       // fast the host ran it, so only a collapse — losing three quarters of
       // the baseline's events/sec — counts as a regression.
       {"sim_events_per_sec", "simspeed/events_per_sec", true, 75.0},
+      // Tail-latency gates over the schema-3 histogram quantile fields.
+      // Raw picosecond values (per_task=false: a quantile is not an
+      // accumulating counter) and require_both (pre-quantile baselines are
+      // skipped, not failed as was-zero regressions). The sim is
+      // deterministic, so the band only has to absorb histogram-bucket
+      // interpolation shifts; the extreme tail gets a wider one.
+      {"sojourn_p50", "runtime/sojourn_ps:p50", false, 0.0, false, true},
+      {"sojourn_p99", "runtime/sojourn_ps:p99", false, 0.0, false, true},
+      {"sojourn_p999", "runtime/sojourn_ps:p999", false, 15.0, false, true},
+      {"serving_p50", "runtime/serving_latency_ps:p50", false, 0.0, false,
+       true},
+      {"serving_p99", "runtime/serving_latency_ps:p99", false, 0.0, false,
+       true},
+      {"serving_p999", "runtime/serving_latency_ps:p999", false, 15.0, false,
+       true},
+      // Saturation-knee throughput (serving rows only): shrinking the
+      // sustainable rate is the regression.
+      {"knee_throughput", "serving/knee_hz", true, 10.0, false, true},
   };
 }
 
@@ -326,8 +350,13 @@ PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
     }
 
     for (const auto& rate : opts.watched) {
-      const double b = base.metric_sum(rate.numerator) / base.tasks();
-      const double c = cand.metric_sum(rate.numerator) / cand.tasks();
+      if (rate.require_both && (!base.has_metric(rate.numerator) ||
+                                !cand.has_metric(rate.numerator)))
+        continue;
+      const double b =
+          base.metric_sum(rate.numerator) / (rate.per_task ? base.tasks() : 1.0);
+      const double c = cand.metric_sum(rate.numerator) /
+                       (rate.per_task ? cand.tasks() : 1.0);
       const double tol = rate.tolerance_pct > 0.0 ? rate.tolerance_pct
                                                   : opts.metric_tolerance_pct;
       // Overhead rates regress by growing; throughput rates by shrinking.

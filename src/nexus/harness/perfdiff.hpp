@@ -61,6 +61,10 @@ struct BenchRecord {
   /// Sum of every metric whose path matches the glob (0 when none match).
   [[nodiscard]] double metric_sum(std::string_view glob) const;
 
+  /// Whether any metric path matches the glob (distinguishes an absent
+  /// metric from a present-but-zero one; see WatchedRate::require_both).
+  [[nodiscard]] bool has_metric(std::string_view glob) const;
+
   /// The run's task count ("runtime/tasks" gauge), or 1 when absent, as the
   /// denominator for per-task rates.
   [[nodiscard]] double tasks() const;
@@ -85,12 +89,23 @@ struct WatchedRate {
   /// PerfdiffOptions::metric_tolerance_pct. Wall-clock-derived rates need a
   /// far wider band than deterministic counters (machine-to-machine churn).
   double tolerance_pct = 0.0;
+  /// Divide the metric sum by the run's task count (the per-task overhead
+  /// shape). false compares the raw sum — quantile fields and knee gauges
+  /// are already absolute values.
+  bool per_task = true;
+  /// Skip the check unless *both* records carry a matching metric. Quantile
+  /// fields only exist on schema-3 records and knee gauges only on serving
+  /// rows; metric_sum's 0-for-absent would otherwise misread an old
+  /// baseline vs a new candidate as a was-zero regression.
+  bool require_both = false;
 };
 
 /// The default watch list: arbiter conflict/retry rates, dep-count park
 /// rate, and task-graph-table stall rate (per task, both managers), plus
 /// the DES kernel throughput gauge (simspeed events/sec, higher-is-better
-/// at a generous wall-clock tolerance).
+/// at a generous wall-clock tolerance), plus the tail-latency gates —
+/// sojourn and serving-latency p50/p99/p999 and the serving knee gauge,
+/// all require_both so pre-quantile baselines are skipped, not failed.
 std::vector<WatchedRate> default_watched_rates();
 
 struct PerfdiffOptions {

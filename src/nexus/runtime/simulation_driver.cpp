@@ -23,6 +23,13 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
       config_(config),
       workers_(config.workers),
       finished_(trace.num_tasks(), false) {
+  if (config_.open_loop != nullptr) {
+    NEXUS_ASSERT_MSG(config_.open_loop->release.size() == trace.num_tasks(),
+                     "open-loop release vector must cover every task");
+    NEXUS_ASSERT_MSG(config_.open_loop->client.empty() ||
+                         config_.open_loop->client.size() == trace.num_tasks(),
+                     "open-loop client vector must be empty or cover every task");
+  }
   if (config_.metrics != nullptr) manager_.bind_telemetry(*config_.metrics);
   if (config_.trace != nullptr) manager_.bind_trace(config_.trace);
   self_ = sim_.add_component(this);
@@ -48,6 +55,22 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
     m_queue_wait_ = &config_.metrics->histogram("runtime/queue_wait_ps");
     submit_t_.assign(trace_.num_tasks(), -1);
     ready_t_.assign(trace_.num_tasks(), -1);
+    if (config_.open_loop != nullptr) {
+      m_offered_ = &config_.metrics->counter("runtime/offered");
+      m_accepted_ = &config_.metrics->counter("runtime/accepted");
+      m_serving_ = &config_.metrics->histogram("runtime/serving_latency_ps");
+      m_admission_wait_ =
+          &config_.metrics->histogram("runtime/admission_wait_ps");
+      // Per-client latency histograms; capped so a million-client schedule
+      // cannot explode the snapshot (the aggregate histogram always exists).
+      constexpr std::uint32_t kMaxClientHistograms = 64;
+      if (!config_.open_loop->client.empty() &&
+          config_.open_loop->clients <= kMaxClientHistograms) {
+        for (std::uint32_t c = 0; c < config_.open_loop->clients; ++c)
+          m_client_sojourn_.push_back(&config_.metrics->histogram(
+              "runtime/client" + std::to_string(c) + "/sojourn_ps"));
+      }
+    }
   }
   if (config_.trace != nullptr && host_net_ != nullptr)
     host_net_->bind_trace(config_.trace, "runtime/noc");
@@ -136,12 +159,23 @@ void Driver::master_step(Simulation& sim) {
     switch (ev.op) {
       case TraceOp::kSubmit: {
         const TaskDescriptor& task = trace_.task(ev.task);
+        if (config_.open_loop != nullptr) {
+          // Open loop: the arrival process, not manager admission speed,
+          // paces this submit. Wake up again at the release time.
+          const Tick at = config_.open_loop->release[task.id];
+          if (at > sim.now()) {
+            sim.schedule(at, self_, kMasterStep);
+            return;
+          }
+        }
         // Recorded before the submit so a pool-blocked retry keeps the
         // first attempt (the wait belongs to the span).
         if (config_.trace != nullptr)
           config_.trace->on_submit(task.id, sim.now());
-        if (config_.metrics != nullptr && submit_t_[task.id] < 0)
+        if (config_.metrics != nullptr && submit_t_[task.id] < 0) {
           submit_t_[task.id] = sim.now();
+          telemetry::inc(m_offered_);
+        }
         const Tick resume = manager_.submit(sim, task);
         if (resume == kSubmitBlocked) {
           master_ = MasterState::kBlockedOnPool;
@@ -150,6 +184,12 @@ void Driver::master_step(Simulation& sim) {
         NEXUS_ASSERT(resume >= sim.now());
         if (config_.trace != nullptr)
           config_.trace->on_accepted(task.id, resume);
+        telemetry::inc(m_accepted_);
+        if (m_admission_wait_ != nullptr)
+          telemetry::record(m_admission_wait_,
+                            static_cast<std::uint64_t>(
+                                sim.now() -
+                                config_.open_loop->release[task.id]));
         ++next_event_;
         ++outstanding_;
         for (const auto& p : task.params)
@@ -293,6 +333,15 @@ void Driver::on_notify(Simulation& sim, std::uint32_t worker, TaskId id) {
   if (config_.metrics != nullptr && submit_t_[id] >= 0)
     telemetry::record(m_sojourn_,
                       static_cast<std::uint64_t>(sim.now() - submit_t_[id]));
+  if (m_serving_ != nullptr) {
+    // Serving latency counts from the *arrival*, not the (possibly
+    // backlogged) submit attempt — the open-loop tail the knee search gates.
+    const auto lat = static_cast<std::uint64_t>(
+        sim.now() - config_.open_loop->release[id]);
+    m_serving_->record(lat);
+    if (!m_client_sojourn_.empty())
+      m_client_sojourn_[config_.open_loop->client[id]]->record(lat);
+  }
   if (free_at == sim.now()) {
     workers_.release(worker);
     try_dispatch(sim);

@@ -28,8 +28,38 @@ struct ScheduleEntry {
   Tick end = 0;
 };
 
+/// Open-loop (serving) submission: instead of replaying the trace as fast
+/// as the manager admits it, the master holds each submit event back until
+/// the task's release (arrival) time. Tasks model requests from independent
+/// logical clients; the vectors are indexed by dense task id.
+///
+/// The trace's event order is still the submission order, so release times
+/// are expected to be non-decreasing along the submit stream (the arrival
+/// generators emit them sorted); a manager that back-pressures (pool full)
+/// delays later arrivals behind the blocked one, which is exactly the
+/// admission backlog the serving metrics measure.
+struct OpenLoopSubmission {
+  /// Arrival time of each task (picoseconds); size must equal the trace's
+  /// task count.
+  std::vector<Tick> release;
+  /// Logical client of each task; empty disables per-client histograms.
+  std::vector<std::uint32_t> client;
+  /// Number of logical clients (client[i] < clients).
+  std::uint32_t clients = 0;
+
+  friend bool operator==(const OpenLoopSubmission&,
+                         const OpenLoopSubmission&) = default;
+};
+
 struct RuntimeConfig {
   std::uint32_t workers = 1;
+
+  /// If nonnull, the run is open-loop: each submit event waits for its
+  /// task's release time (see OpenLoopSubmission). With metrics bound the
+  /// driver additionally records offered/accepted counters, the
+  /// serving-latency histogram (release -> finish) and per-client
+  /// histograms. Null keeps the closed-loop replay bit-identical.
+  const OpenLoopSubmission* open_loop = nullptr;
 
   /// Fixed master-side cost per trace event outside the manager (models the
   /// user code between pragmas; 0 = pure trace replay as in the paper).
@@ -163,6 +193,14 @@ class Driver final : public Component, public RuntimeHost {
   telemetry::Counter* m_dispatches_ = nullptr;
   telemetry::Histogram* m_sojourn_ = nullptr;     ///< submit -> finish, per task
   telemetry::Histogram* m_queue_wait_ = nullptr;  ///< ready -> dispatch
+
+  // Open-loop serving metrics (created only when `open_loop` is set and a
+  // registry is bound; see docs/METRICS.md "Serving metrics").
+  telemetry::Counter* m_offered_ = nullptr;   ///< arrivals whose submit was attempted
+  telemetry::Counter* m_accepted_ = nullptr;  ///< arrivals admitted by the manager
+  telemetry::Histogram* m_serving_ = nullptr;        ///< release -> finish
+  telemetry::Histogram* m_admission_wait_ = nullptr; ///< release -> admission
+  std::vector<telemetry::Histogram*> m_client_sojourn_;  ///< per client
 
   /// Per-task submit/ready times (task ids are dense trace indices), kept
   /// only when metrics are bound — they feed the sojourn and queue-wait

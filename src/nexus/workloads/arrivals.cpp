@@ -1,0 +1,283 @@
+#include "nexus/workloads/arrivals.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "nexus/common/assert.hpp"
+#include "nexus/common/rng.hpp"
+#include "nexus/telemetry/json.hpp"
+#include "nexus/telemetry/writers.hpp"
+#include "nexus/workloads/workloads.hpp"
+
+namespace nexus::workloads {
+namespace {
+
+/// Serving address space: client c's task k writes kServingBase + (c<<28) +
+/// k*64 — unique per task, disjoint between clients, within 48 bits for
+/// any plausible client count.
+constexpr Addr kServingBase = 0x5E0000000000;
+
+constexpr Addr out_addr(std::uint32_t client, std::uint64_t seq) {
+  return (kServingBase + (static_cast<Addr>(client) << 28) + seq * 64) &
+         kAddrMask;
+}
+
+/// Exponential sample with the given rate (events per second), in seconds.
+double exp_sample(Xoshiro256& rng, double rate_hz) {
+  return -std::log(1.0 - rng.uniform()) / rate_hz;
+}
+
+constexpr double kTwoPi = 6.283185307179586;
+
+}  // namespace
+
+const char* to_string(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+bool arrival_process_from(std::string_view name, ArrivalProcess* out) {
+  for (const ArrivalProcess p :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty,
+        ArrivalProcess::kDiurnal}) {
+    if (name == to_string(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+ArrivalSchedule generate_arrivals(const ArrivalConfig& cfg) {
+  NEXUS_ASSERT_MSG(cfg.rate_hz > 0.0, "arrival rate must be positive");
+  NEXUS_ASSERT_MSG(cfg.tasks > 0, "need at least one arrival");
+  NEXUS_ASSERT_MSG(cfg.clients > 0, "need at least one client");
+  NEXUS_ASSERT_MSG(cfg.depth >= 0.0 && cfg.depth < 1.0,
+                   "diurnal depth must be in [0, 1)");
+  NEXUS_ASSERT_MSG(cfg.on_fraction > 0.0 && cfg.on_fraction <= 1.0,
+                   "on_fraction must be in (0, 1]");
+
+  ArrivalSchedule s;
+  s.config = cfg;
+  s.submission.clients = cfg.clients;
+  s.submission.release.reserve(cfg.tasks);
+  s.submission.client.reserve(cfg.tasks);
+
+  Xoshiro256 rng(cfg.seed);
+  double t_ps = 0.0;  // fixed-order double accumulation: deterministic
+
+  // Bursty (MMPP on-off) modulation state.
+  const double mean_on_ps =
+      cfg.on_fraction * static_cast<double>(cfg.burst_cycle_ps);
+  const double mean_off_ps =
+      (1.0 - cfg.on_fraction) * static_cast<double>(cfg.burst_cycle_ps);
+  const double rate_on_hz = cfg.rate_hz / cfg.on_fraction;
+  double on_end_ps = 0.0;
+  bool burst_started = false;
+
+  // Diurnal thinning bound.
+  const double rate_max_hz = cfg.rate_hz * (1.0 + cfg.depth);
+
+  for (std::uint64_t i = 0; i < cfg.tasks; ++i) {
+    switch (cfg.process) {
+      case ArrivalProcess::kPoisson:
+        t_ps += exp_sample(rng, cfg.rate_hz) * 1e12;
+        break;
+      case ArrivalProcess::kBursty: {
+        if (!burst_started) {
+          // The stream opens inside a burst (memorylessness makes the
+          // choice of origin immaterial to the statistics).
+          on_end_ps = -std::log(1.0 - rng.uniform()) * mean_on_ps;
+          burst_started = true;
+        }
+        for (;;) {
+          const double dt = exp_sample(rng, rate_on_hz) * 1e12;
+          if (t_ps + dt <= on_end_ps) {
+            t_ps += dt;
+            break;
+          }
+          // Burst exhausted before the next arrival: jump to its end,
+          // sleep through an off gap, open a fresh burst. Discarding the
+          // partial interarrival is exact for exponentials.
+          t_ps = on_end_ps - std::log(1.0 - rng.uniform()) * mean_off_ps;
+          on_end_ps = t_ps - std::log(1.0 - rng.uniform()) * mean_on_ps;
+        }
+        break;
+      }
+      case ArrivalProcess::kDiurnal: {
+        // Lewis-Shedler thinning against the curve's peak rate.
+        for (;;) {
+          t_ps += exp_sample(rng, rate_max_hz) * 1e12;
+          const double lambda_t =
+              cfg.rate_hz *
+              (1.0 + cfg.depth *
+                         std::sin(kTwoPi * t_ps /
+                                  static_cast<double>(cfg.period_ps)));
+          if (rng.uniform() * rate_max_hz <= lambda_t) break;
+        }
+        break;
+      }
+    }
+    s.submission.release.push_back(static_cast<Tick>(t_ps));
+    s.submission.client.push_back(
+        static_cast<std::uint32_t>(rng.below(cfg.clients)));
+  }
+  return s;
+}
+
+Trace make_serving_trace(const ArrivalSchedule& s) {
+  const ArrivalConfig& cfg = s.config;
+  NEXUS_ASSERT_MSG(s.submission.client.size() == s.submission.release.size(),
+                   "schedule client marks must cover every arrival");
+  const Trace donor = make_workload(cfg.kernel);
+  const std::size_t donor_n = donor.num_tasks();
+
+  // Seeded donor permutation so consecutive arrivals do not walk the donor
+  // trace in phase order; an independent stream keeps trace construction
+  // decoupled from the arrival draws (replay reads only the schedule).
+  Xoshiro256 rng(cfg.seed ^ 0x7EACE5E2);
+  std::vector<std::uint32_t> perm(donor_n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t i = donor_n; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  Trace tr(std::string("serving-") + to_string(cfg.process) + "-" +
+           cfg.kernel);
+  tr.reserve(s.tasks());
+  std::vector<std::uint64_t> seq(cfg.clients, 0);
+  for (std::uint64_t i = 0; i < s.tasks(); ++i) {
+    const std::uint32_t c = s.submission.client[i];
+    const TaskDescriptor& d =
+        donor.task(perm[static_cast<std::size_t>(i % donor_n)]);
+    ParamList p;
+    // Drawn unconditionally so every task consumes one uniform: the chain
+    // decision stream is position-independent of the client interleaving.
+    const bool chain = rng.uniform() < cfg.chain_fraction && seq[c] > 0;
+    if (chain) p.push_back({out_addr(c, seq[c] - 1), Dir::kIn});
+    p.push_back({out_addr(c, seq[c]), Dir::kOut});
+    // Pad to the donor's parameter count with reads of this client's older
+    // outputs (known-written addresses, so the dependence is well-defined
+    // and the descriptor's flit payload matches the donor's shape).
+    std::uint64_t back = chain ? 2 : 1;
+    while (p.size() < d.num_params() && back <= seq[c]) {
+      p.push_back({out_addr(c, seq[c] - back), Dir::kIn});
+      ++back;
+    }
+    tr.submit(d.fn, d.duration, p);
+    ++seq[c];
+  }
+  return tr;
+}
+
+std::string arrivals_json(const ArrivalSchedule& s) {
+  const ArrivalConfig& cfg = s.config;
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", 1);
+  w.kv("kind", "nexus-arrivals");
+  w.kv("process", to_string(cfg.process));
+  w.kv("kernel", cfg.kernel);
+  w.kv("seed", cfg.seed);
+  w.kv("rate_hz", cfg.rate_hz);
+  w.kv("clients", cfg.clients);
+  w.kv("chain_fraction", cfg.chain_fraction);
+  w.kv("on_fraction", cfg.on_fraction);
+  w.kv("burst_cycle_ps", cfg.burst_cycle_ps);
+  w.kv("period_ps", cfg.period_ps);
+  w.kv("depth", cfg.depth);
+  w.kv("tasks", static_cast<std::uint64_t>(s.tasks()));
+  w.key("arrival_ps").begin_array();
+  for (const Tick t : s.submission.release) w.value(t);
+  w.end_array();
+  w.key("client").begin_array();
+  for (const std::uint32_t c : s.submission.client) w.value(c);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool parse_arrivals(std::string_view text, ArrivalSchedule* out,
+                    std::string* error) {
+  telemetry::JsonValue doc;
+  if (!telemetry::json_parse(text, &doc, error)) return false;
+  auto fail = [error](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (!doc.is_object()) return fail("document is not a JSON object");
+  const telemetry::JsonValue* f = doc.find("kind");
+  if (f == nullptr || f->str_or("") != "nexus-arrivals")
+    return fail("not a nexus-arrivals document (missing/wrong \"kind\")");
+  if ((f = doc.find("schema")) != nullptr && f->int_or(1) != 1)
+    return fail("unknown arrivals schema version");
+
+  ArrivalSchedule s;
+  ArrivalConfig& cfg = s.config;
+  f = doc.find("process");
+  if (f == nullptr || !f->is_string() ||
+      !arrival_process_from(f->str, &cfg.process))
+    return fail("missing or unknown \"process\"");
+  cfg.kernel = (f = doc.find("kernel")) != nullptr ? f->str_or(cfg.kernel)
+                                                   : cfg.kernel;
+  if (!is_workload(cfg.kernel)) return fail("unknown donor kernel");
+  cfg.seed = static_cast<std::uint64_t>(
+      (f = doc.find("seed")) != nullptr
+          ? f->int_or(static_cast<std::int64_t>(cfg.seed))
+          : static_cast<std::int64_t>(cfg.seed));
+  cfg.rate_hz =
+      (f = doc.find("rate_hz")) != nullptr ? f->num_or(cfg.rate_hz)
+                                           : cfg.rate_hz;
+  cfg.clients = static_cast<std::uint32_t>(
+      (f = doc.find("clients")) != nullptr ? f->int_or(cfg.clients)
+                                           : cfg.clients);
+  if (cfg.clients == 0) return fail("\"clients\" must be positive");
+  cfg.chain_fraction = (f = doc.find("chain_fraction")) != nullptr
+                           ? f->num_or(cfg.chain_fraction)
+                           : cfg.chain_fraction;
+  cfg.on_fraction = (f = doc.find("on_fraction")) != nullptr
+                        ? f->num_or(cfg.on_fraction)
+                        : cfg.on_fraction;
+  cfg.burst_cycle_ps = (f = doc.find("burst_cycle_ps")) != nullptr
+                           ? f->int_or(cfg.burst_cycle_ps)
+                           : cfg.burst_cycle_ps;
+  cfg.period_ps = (f = doc.find("period_ps")) != nullptr
+                      ? f->int_or(cfg.period_ps)
+                      : cfg.period_ps;
+  cfg.depth =
+      (f = doc.find("depth")) != nullptr ? f->num_or(cfg.depth) : cfg.depth;
+
+  const telemetry::JsonValue* arr = doc.find("arrival_ps");
+  if (arr == nullptr || !arr->is_array() || arr->array.empty())
+    return fail("missing or empty \"arrival_ps\" array");
+  const telemetry::JsonValue* cli = doc.find("client");
+  if (cli == nullptr || !cli->is_array() ||
+      cli->array.size() != arr->array.size())
+    return fail("\"client\" array must match \"arrival_ps\" in size");
+  Tick prev = 0;
+  for (const telemetry::JsonValue& e : arr->array) {
+    const Tick t = e.int_or(-1);
+    if (t < prev) return fail("\"arrival_ps\" must be non-decreasing and >= 0");
+    s.submission.release.push_back(t);
+    prev = t;
+  }
+  for (const telemetry::JsonValue& e : cli->array) {
+    const std::int64_t c = e.int_or(-1);
+    if (c < 0 || c >= static_cast<std::int64_t>(cfg.clients))
+      return fail("\"client\" entry out of range");
+    s.submission.client.push_back(static_cast<std::uint32_t>(c));
+  }
+  s.submission.clients = cfg.clients;
+  cfg.tasks = s.tasks();
+  *out = std::move(s);
+  return true;
+}
+
+}  // namespace nexus::workloads

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nexus/common/rng.hpp"
+#include "nexus/harness/experiment.hpp"
 #include "nexus/nexussharp/nexussharp.hpp"
 #include "nexus/noc/placement.hpp"
 #include "nexus/runtime/simulation_driver.hpp"
@@ -17,6 +18,7 @@
 #include "nexus/task/trace_stats.hpp"
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/telemetry/writers.hpp"
+#include "nexus/workloads/arrivals.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 namespace nexus {
@@ -475,6 +477,64 @@ TEST(QueueKindSweep, PlacementPipelineIdenticalUnderHeapAndCalendar) {
   const noc::PlacementResult b = noc::optimize_placement(topo, m);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.cost, b.cost);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop serving sweep: the arrival generators plus the release-gated
+// driver must stay bit-reproducible — same seed means identical executed
+// schedules AND identical BENCH records — across both event-queue kinds and
+// across ideal/mesh/torus interconnects. This is what pins the committed
+// BENCH_serving.json trajectory.
+// ---------------------------------------------------------------------------
+
+TEST(QueueKindSweep, OpenLoopServingIdenticalAcrossKindsAndTopologies) {
+  workloads::ArrivalConfig acfg;
+  acfg.process = workloads::ArrivalProcess::kBursty;
+  acfg.tasks = 250;
+  acfg.clients = 4;
+  acfg.kernel = "h264dec-8x8-10f";
+  acfg.rate_hz = 4e6;
+  const workloads::ArrivalSchedule sched = workloads::generate_arrivals(acfg);
+  const Trace tr = workloads::make_serving_trace(sched);
+
+  for (const noc::TopologyKind topo :
+       {noc::TopologyKind::kIdeal, noc::TopologyKind::kMesh,
+        noc::TopologyKind::kTorus}) {
+    std::vector<ObservedRun> runs;
+    std::vector<std::string> records;
+    for (const QueueKind kind : kBothKinds) {
+      ScopedQueueKind guard(kind);
+      ObservedRun out;
+      telemetry::MetricRegistry reg;
+      NexusSharpConfig cfg;
+      cfg.num_task_graphs = 4;
+      cfg.freq_mhz = 100.0;
+      cfg.noc.kind = topo;
+      NexusSharp mgr(cfg);
+      RuntimeConfig rc;
+      rc.workers = 8;
+      rc.noc.kind = topo;
+      rc.open_loop = &sched.submission;
+      rc.schedule_out = &out.schedule;
+      rc.metrics = &reg;
+      const RunResult r = run_trace(tr, mgr, rc);
+      out.makespan = r.makespan;
+      out.events = r.events;
+      const telemetry::Snapshot snap = reg.snapshot();
+      out.metrics_json = telemetry::snapshot_json(snap);
+      runs.push_back(std::move(out));
+      records.push_back(harness::metrics_report_json(
+          "determinism", "serving-bursty", "nexus#-4TG", 8, r.makespan, 0.0,
+          &snap, nullptr, noc::to_string(topo)));
+    }
+    expect_runs_identical(runs[0], runs[1], noc::to_string(topo));
+    EXPECT_EQ(records[0], records[1])
+        << "BENCH record diverged across queue kinds on "
+        << noc::to_string(topo);
+    // Release gating held on every interconnect: no early starts.
+    for (const ScheduleEntry& e : runs[0].schedule)
+      ASSERT_GE(e.start, sched.submission.release[e.task]) << e.task;
+  }
 }
 
 }  // namespace

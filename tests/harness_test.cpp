@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "nexus/harness/experiment.hpp"
+#include "nexus/harness/serving.hpp"
+#include "nexus/telemetry/snapshot.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 namespace nexus::harness {
@@ -104,6 +106,93 @@ TEST(Harness, ManagersOrderOnFineGrainedWork) {
   EXPECT_GE(ideal, sharp);
   EXPECT_GE(sharp, npp);
   EXPECT_GT(sharp, nanos);
+}
+
+// ---------------------------------------------------------------------------
+// Serving harness: run_serving field reconciliation and knee-search
+// bracketing on a small open-loop configuration.
+// ---------------------------------------------------------------------------
+
+workloads::ArrivalConfig serving_config() {
+  workloads::ArrivalConfig cfg;
+  cfg.tasks = 300;
+  cfg.clients = 4;
+  cfg.kernel = "h264dec-8x8-10f";
+  return cfg;
+}
+
+TEST(Serving, RunServingFillsAConsistentPoint) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  const ServingPoint p =
+      run_serving(cfg, /*rate_hz=*/20000.0, ManagerSpec::nexussharp(4), 16,
+                  {}, nullptr, {{"serving/knee_hz", 12345}});
+  EXPECT_EQ(p.tasks, cfg.tasks);
+  EXPECT_GT(p.horizon, 0);
+  // The run cannot finish before the last arrival.
+  EXPECT_GE(p.makespan, p.horizon);
+  // Realized offered rate tracks the requested one (same seed, 300 draws).
+  EXPECT_NEAR(p.offered_hz, 20000.0, 0.2 * 20000.0);
+  EXPECT_GT(p.accepted_hz, 0.0);
+  EXPECT_LE(p.accepted_hz, p.offered_hz + 1.0);
+  // Quantiles were extracted and are ordered.
+  EXPECT_GT(p.p50_ps, 0.0);
+  EXPECT_LE(p.p50_ps, p.p95_ps);
+  EXPECT_LE(p.p95_ps, p.p99_ps);
+  EXPECT_LE(p.p99_ps, p.p999_ps);
+  // The context gauges landed in the same snapshot as the measurements.
+  ASSERT_NE(p.report.metrics, nullptr);
+  EXPECT_EQ(p.report.metrics->gauge_at("serving/rate_hz"), 20000);
+  EXPECT_EQ(p.report.metrics->gauge_at("serving/knee_hz"), 12345);
+  EXPECT_EQ(p.report.metrics->counter_at("runtime/offered"), cfg.tasks);
+  EXPECT_EQ(p.report.metrics->counter_at("runtime/accepted"), cfg.tasks);
+}
+
+TEST(Serving, FindKneeBracketsTheSaturationRate) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  KneeSearch search;
+  search.p99_budget_ps = ms(8.0);
+  search.lo_hz = 5000.0;
+  search.bisect_iters = 5;
+  const KneeResult r =
+      find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  ASSERT_TRUE(r.bracketed);
+  ASSERT_GT(r.knee_hz, 0.0);
+  EXPECT_GE(r.knee_hz, search.lo_hz);
+  EXPECT_GT(r.probes, 2u);
+  // The knee point itself meets the budget...
+  EXPECT_LE(r.knee.p99_ps, static_cast<double>(search.p99_budget_ps));
+  EXPECT_EQ(r.knee.rate_hz, r.knee_hz);
+  // ...and a rate well past it violates the budget (saturation is real).
+  const ServingPoint beyond =
+      run_serving(cfg, 4.0 * r.knee_hz, ManagerSpec::nexussharp(4), 16);
+  EXPECT_GT(beyond.p99_ps, static_cast<double>(search.p99_budget_ps));
+}
+
+TEST(Serving, KneeSearchIsDeterministic) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  KneeSearch search;
+  search.p99_budget_ps = ms(8.0);
+  search.lo_hz = 5000.0;
+  search.bisect_iters = 4;
+  const KneeResult a = find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  const KneeResult b = find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  EXPECT_EQ(a.knee_hz, b.knee_hz);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.knee.makespan, b.knee.makespan);
+  EXPECT_EQ(a.knee.p99_ps, b.knee.p99_ps);
+}
+
+TEST(Serving, UnattainableBudgetReportsUnbracketed) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  KneeSearch search;
+  // A budget below any task's execution time fails even unloaded.
+  search.p99_budget_ps = 1;
+  search.lo_hz = 1000.0;
+  const KneeResult r =
+      find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  EXPECT_FALSE(r.bracketed);
+  EXPECT_EQ(r.knee_hz, 0.0);
+  EXPECT_EQ(r.probes, 1u);
 }
 
 }  // namespace

@@ -497,6 +497,97 @@ TEST(PerfdiffTimelines, LostTimelineOrSeriesIsARegression) {
   EXPECT_NE(series.report.find("nexus#/pool/occupancy"), std::string::npos);
 }
 
+// ---------- quantile gates ----------
+
+/// A schema-3 serving-style record carrying the histogram quantile fields
+/// the tail-latency gates watch, plus the knee gauge.
+BenchRecord quantile_fixture(double p50, double p99, double p999,
+                             double knee_hz = 50000.0) {
+  BenchRecord r;
+  r.schema = 3;
+  r.bench = "ablation_serving";
+  r.workload = "serving-poisson-k@knee";
+  r.manager = "nexus#";
+  r.cores = 32;
+  r.makespan = 1000000;
+  r.speedup = 1.0;
+  r.metrics = {{"runtime/tasks", 100.0},
+               {"runtime/sojourn_ps:p50", p50},
+               {"runtime/sojourn_ps:p99", p99},
+               {"runtime/sojourn_ps:p999", p999},
+               {"runtime/serving_latency_ps:p50", p50},
+               {"runtime/serving_latency_ps:p99", p99},
+               {"runtime/serving_latency_ps:p999", p999},
+               {"serving/knee_hz", knee_hz}};
+  return r;
+}
+
+TEST(PerfdiffQuantiles, P99OnlyRegressionFails) {
+  // The makespan and p50 are untouched — only the tail moved. This is
+  // exactly the regression shape the quantile gates exist to catch.
+  const std::vector<BenchRecord> base{quantile_fixture(1e6, 5e6, 9e6)};
+  const std::vector<BenchRecord> cand{quantile_fixture(1e6, 7e6, 9e6)};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_FALSE(res.ok());
+  EXPECT_NE(res.report.find("serving_p99"), std::string::npos);
+  EXPECT_NE(res.report.find("sojourn_p99"), std::string::npos);
+}
+
+TEST(PerfdiffQuantiles, P50NoiseWithinTolerancePasses) {
+  // +5% on the median is inside the 10% default band; nothing else moved.
+  const std::vector<BenchRecord> base{quantile_fixture(1e6, 5e6, 9e6)};
+  const std::vector<BenchRecord> cand{quantile_fixture(1.05e6, 5e6, 9e6)};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_TRUE(res.ok()) << res.report;
+}
+
+TEST(PerfdiffQuantiles, P999GetsTheWiderBand) {
+  // +12% on p999 is inside its 15% band but would fail p99's 10% band —
+  // the extreme tail is allowed more interpolation slack.
+  const std::vector<BenchRecord> base{quantile_fixture(1e6, 5e6, 9e6)};
+  const std::vector<BenchRecord> cand{quantile_fixture(1e6, 5e6, 10.1e6)};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_TRUE(res.ok()) << res.report;
+}
+
+TEST(PerfdiffQuantiles, KneeCollapseFailsGrowthPasses) {
+  const std::vector<BenchRecord> base{quantile_fixture(1e6, 5e6, 9e6, 50000)};
+  // Knee shrank 20% (> 10% band): a capacity regression.
+  std::vector<BenchRecord> cand{quantile_fixture(1e6, 5e6, 9e6, 40000)};
+  EXPECT_FALSE(harness::perfdiff_compare(base, cand).ok());
+  // Knee grew 20%: higher-is-better, never a failure.
+  cand = {quantile_fixture(1e6, 5e6, 9e6, 60000)};
+  EXPECT_TRUE(harness::perfdiff_compare(base, cand).ok());
+}
+
+TEST(PerfdiffQuantiles, MissingQuantilesOnOldRecordsAreSkippedNotFailed) {
+  // A schema-2 baseline has no quantile fields and no knee gauge. Against a
+  // schema-3 candidate that carries them, every require_both gate must
+  // disengage — not crash, not read absent metrics as zero and flag a
+  // was-zero regression.
+  const std::vector<BenchRecord> old_base{fixture(1000000, 40)};
+  BenchRecord cand3 = fixture(1000000, 40);
+  cand3.schema = 3;
+  cand3.metrics.emplace_back("runtime/sojourn_ps:p99", 5e6);
+  cand3.metrics.emplace_back("runtime/serving_latency_ps:p99", 6e6);
+  cand3.metrics.emplace_back("serving/knee_hz", 50000.0);
+  const PerfdiffResult res = harness::perfdiff_compare(old_base, {cand3});
+  EXPECT_TRUE(res.ok()) << res.report;
+  EXPECT_EQ(res.compared, 1);
+  // And the reverse direction (quantile baseline, stripped candidate).
+  const PerfdiffResult rev = harness::perfdiff_compare({cand3}, old_base);
+  EXPECT_TRUE(rev.ok()) << rev.report;
+}
+
+TEST(PerfdiffQuantiles, HasMetricDistinguishesAbsentFromZero) {
+  const BenchRecord with = quantile_fixture(0.0, 0.0, 0.0, 0.0);
+  EXPECT_TRUE(with.has_metric("serving/knee_hz"));
+  EXPECT_TRUE(with.has_metric("runtime/sojourn_ps:p99"));
+  const BenchRecord without = fixture(1000, 0);
+  EXPECT_FALSE(without.has_metric("serving/knee_hz"));
+  EXPECT_FALSE(without.has_metric("runtime/*_ps:p99"));
+}
+
 TEST(PerfdiffTimelines, AxisMismatchDetected) {
   const BenchRecord base = timeline_fixture({0, 1, 2, 3}, {4, 4, 4, 4});
   BenchRecord cand = base;

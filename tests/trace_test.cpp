@@ -19,8 +19,11 @@
 #include "nexus/runtime/ideal_manager.hpp"
 #include "nexus/runtime/simulation_driver.hpp"
 #include "nexus/telemetry/critical_path.hpp"
+#include "nexus/telemetry/registry.hpp"
+#include "nexus/telemetry/snapshot.hpp"
 #include "nexus/telemetry/trace.hpp"
 #include "nexus/telemetry/trace_export.hpp"
+#include "nexus/workloads/arrivals.hpp"
 #include "nexus/workloads/workloads.hpp"
 #include "schedule_checker.hpp"
 
@@ -385,6 +388,99 @@ TEST(TraceExport, JsonCarriesEventsAndExactAttribution) {
   EXPECT_NE(json.find("sharp/arbiter"), std::string::npos);
   // Lifecycle chain phases appear as async begin/end pairs.
   EXPECT_NE(json.find("\"dep_wait\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop serving conservation: the serving histograms the driver fills
+// must reconcile exactly against the span chains — the sojourn histogram is
+// the spans' submit->finish set, the serving-latency histogram the
+// release->finish set, and every arrival is both offered and accepted.
+// ---------------------------------------------------------------------------
+
+TEST(ServingConservation, OpenLoopHistogramsMatchSpanChains) {
+  workloads::ArrivalConfig acfg;
+  acfg.tasks = 300;
+  acfg.clients = 4;
+  acfg.kernel = "h264dec-8x8-10f";
+  acfg.rate_hz = 4e6;
+  const workloads::ArrivalSchedule sched = workloads::generate_arrivals(acfg);
+  const Trace tr = workloads::make_serving_trace(sched);
+
+  NexusSharp mgr(sharp_cfg(noc::TopologyKind::kIdeal));
+  TraceRecorder rec;
+  telemetry::MetricRegistry reg;
+  RuntimeConfig rc;
+  rc.workers = 8;
+  rc.open_loop = &sched.submission;
+  rc.trace = &rec;
+  rc.metrics = &reg;
+  const RunResult result = run_trace(tr, mgr, rc);
+  const TraceData td = rec.freeze();
+  const telemetry::Snapshot snap = reg.snapshot();
+
+  ASSERT_EQ(td.tasks.size(), tr.num_tasks());
+  EXPECT_EQ(result.tasks, tr.num_tasks());
+  // Every arrival was offered and admitted exactly once.
+  EXPECT_EQ(snap.counter_at("runtime/offered"), tr.num_tasks());
+  EXPECT_EQ(snap.counter_at("runtime/accepted"), tr.num_tasks());
+
+  // Reconstruct the two latency sets from the span chains. Phases
+  // telescope to the sojourn (check_conservation's contract), so matching
+  // the histogram against span sojourns ties the serving metrics to the
+  // per-phase durations of PR 7's trace layer.
+  std::uint64_t sojourn_sum = 0;
+  std::uint64_t sojourn_min = ~0ULL;
+  std::uint64_t sojourn_max = 0;
+  std::uint64_t serving_sum = 0;
+  for (const TaskSpan& s : td.tasks) {
+    ASSERT_TRUE(s.complete()) << "task " << s.task;
+    const TaskPhases p = telemetry::phases_of(s);
+    const auto sojourn = static_cast<std::uint64_t>(
+        p.ingest + p.dep_wait + p.writeback + p.queue_wait + p.dispatch +
+        p.execute);
+    ASSERT_EQ(sojourn, static_cast<std::uint64_t>(s.sojourn()));
+    sojourn_sum += sojourn;
+    sojourn_min = std::min(sojourn_min, sojourn);
+    sojourn_max = std::max(sojourn_max, sojourn);
+    // Open loop: the span's submit stamp is the release-gated attempt, so
+    // serving latency is sojourn plus the (zero here) admission backlog.
+    EXPECT_GE(s.submit, sched.submission.release[s.task]) << s.task;
+    serving_sum += static_cast<std::uint64_t>(
+        s.exec_end - sched.submission.release[s.task]);
+  }
+
+  const telemetry::MetricValue* soj = snap.find("runtime/sojourn_ps");
+  ASSERT_NE(soj, nullptr);
+  EXPECT_EQ(soj->hist.count, tr.num_tasks());
+  EXPECT_EQ(soj->hist.sum, sojourn_sum);
+  EXPECT_EQ(soj->hist.min, sojourn_min);
+  EXPECT_EQ(soj->hist.max, sojourn_max);
+
+  const telemetry::MetricValue* serving =
+      snap.find("runtime/serving_latency_ps");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_EQ(serving->hist.count, tr.num_tasks());
+  EXPECT_EQ(serving->hist.sum, serving_sum);
+
+  // Admission wait: one sample per task, each bounded by that task's
+  // serving latency, so the maxima are ordered too.
+  const telemetry::MetricValue* adm = snap.find("runtime/admission_wait_ps");
+  ASSERT_NE(adm, nullptr);
+  EXPECT_EQ(adm->hist.count, tr.num_tasks());
+  EXPECT_LE(adm->hist.max, serving->hist.max);
+
+  // Per-client histograms partition the serving-latency set exactly.
+  std::uint64_t client_count = 0;
+  std::uint64_t client_sum = 0;
+  for (std::uint32_t c = 0; c < acfg.clients; ++c) {
+    const telemetry::MetricValue* h =
+        snap.find("runtime/client" + std::to_string(c) + "/sojourn_ps");
+    ASSERT_NE(h, nullptr) << "client " << c;
+    client_count += h->hist.count;
+    client_sum += h->hist.sum;
+  }
+  EXPECT_EQ(client_count, tr.num_tasks());
+  EXPECT_EQ(client_sum, serving_sum);
 }
 
 TEST(TraceRecorderUnit, FirstSubmitWinsAndFreezeSorts) {

@@ -1,6 +1,11 @@
 // nexus-perfdiff: compare two BENCH_*.json trajectory records and flag
 // makespan/metric regressions, so CI gates on the bench trajectory instead
-// of a human eyeballing numbers.
+// of a human eyeballing numbers. The default watch list includes the
+// tail-latency quantile gates (runtime/sojourn_ps and
+// runtime/serving_latency_ps p50/p99/p999, plus the serving/knee_hz
+// throughput gauge): a p99 regression fails CI even when the makespan is
+// unchanged. Quantile gates only engage when both records carry the fields,
+// so schema<3 baselines are skipped, never failed.
 //
 //   nexus-perfdiff [options] <baseline.json> <candidate.json>
 //
