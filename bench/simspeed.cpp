@@ -29,6 +29,8 @@
 #include "nexus/harness/experiment.hpp"
 #include "nexus/sim/event_queue.hpp"
 #include "nexus/sim/simulation.hpp"
+#include "nexus/telemetry/profile_export.hpp"
+#include "nexus/telemetry/profiler.hpp"
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/workloads/workloads.hpp"
 
@@ -75,10 +77,33 @@ struct StormResult {
   double events_per_sec = 0.0;
 };
 
+/// The schema-4 host-time fields: where the simulator's own wall clock
+/// went during a profiled re-run, total (inclusive) ns per kernel phase.
+/// Folded into BENCH records as prof/* gauges — report-only perfdiff
+/// watches, because wall time tracks the machine, not the code under test.
+struct HostProfile {
+  std::uint64_t push_ns = 0;
+  std::uint64_t pop_ns = 0;
+  std::uint64_t handle_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+HostProfile host_profile_from(const telemetry::ProfileData& d) {
+  HostProfile h;
+  if (const auto* n = d.find("queue;push")) h.push_ns = n->total_ns;
+  if (const auto* n = d.find("queue;pop")) h.pop_ns = n->total_ns;
+  if (const auto* n = d.find("handle")) h.handle_ns = n->total_ns;
+  if (!d.nodes.empty()) h.total_ns = d.nodes[0].total_ns;
+  return h;
+}
+
 StormResult run_storm(QueueKind kind, std::uint64_t n_events,
                       std::uint64_t inflight, std::uint32_t ncomp,
-                      std::uint64_t seed) {
+                      std::uint64_t seed,
+                      telemetry::ProfileData* profile_out = nullptr) {
   Simulation sim(kind);
+  telemetry::Profiler prof;
+  if (profile_out != nullptr) sim.bind_profiler(prof);
   std::uint64_t checksum = 0x6E78757353696D21ULL;
   std::vector<StormCore> cores;
   cores.reserve(ncomp);
@@ -108,6 +133,7 @@ StormResult run_storm(QueueKind kind, std::uint64_t n_events,
   r.events_per_sec = r.wall_us > 0.0 ? static_cast<double>(r.events) /
                                            (r.wall_us * 1e-6)
                                      : 0.0;
+  if (profile_out != nullptr) *profile_out = prof.freeze();
   return r;
 }
 
@@ -118,12 +144,15 @@ struct TraceResult {
   double events_per_sec = 0.0;
 };
 
-TraceResult run_workload(QueueKind kind, const Trace& tr, std::uint32_t cores) {
+TraceResult run_workload(QueueKind kind, const Trace& tr, std::uint32_t cores,
+                         telemetry::ProfileData* profile_out = nullptr) {
   set_default_queue_kind(kind);  // run_trace builds its Simulation internally
   const harness::ManagerSpec spec = harness::ManagerSpec::nexussharp(6);
   NexusSharp mgr(spec.sharp);
+  telemetry::Profiler prof;
   RuntimeConfig rc;
   rc.workers = cores;
+  if (profile_out != nullptr) rc.profiler = &prof;
   const auto t0 = std::chrono::steady_clock::now();
   const RunResult res = run_trace(tr, mgr, rc);
   const auto t1 = std::chrono::steady_clock::now();
@@ -136,18 +165,28 @@ TraceResult run_workload(QueueKind kind, const Trace& tr, std::uint32_t cores) {
           .count();
   r.events_per_sec =
       r.wall_us > 0.0 ? static_cast<double>(r.events) / (r.wall_us * 1e-6) : 0.0;
+  if (profile_out != nullptr) *profile_out = prof.freeze();
   return r;
 }
 
 /// One BENCH record: the deterministic makespan plus wall-clock gauges.
+/// A non-null `host` (from a --prof re-run) folds the schema-4 host-time
+/// fields in as prof/* gauges.
 std::string record(const std::string& workload, QueueKind kind,
                    std::uint32_t cores, Tick makespan, std::uint64_t events,
-                   double wall_us, double events_per_sec, double speedup) {
+                   double wall_us, double events_per_sec, double speedup,
+                   const HostProfile* host = nullptr) {
   telemetry::MetricRegistry reg;
   reg.gauge("simspeed/events").set(static_cast<std::int64_t>(events));
   reg.gauge("simspeed/events_per_sec")
       .set(static_cast<std::int64_t>(events_per_sec));
   reg.gauge("simspeed/wall_us").set(static_cast<std::int64_t>(wall_us));
+  if (host != nullptr) {
+    reg.gauge("prof/push_ns").set(static_cast<std::int64_t>(host->push_ns));
+    reg.gauge("prof/pop_ns").set(static_cast<std::int64_t>(host->pop_ns));
+    reg.gauge("prof/handle_ns").set(static_cast<std::int64_t>(host->handle_ns));
+    reg.gauge("prof/total_ns").set(static_cast<std::int64_t>(host->total_ns));
+  }
   const telemetry::Snapshot snap = reg.snapshot();
   const std::string manager = std::string("kernel-") + to_string(kind);
   return harness::metrics_report_json("simspeed", workload, manager, cores,
@@ -183,6 +222,14 @@ int main(int argc, char** argv) {
        {"min-speedup",
         "fail (exit 1) unless calendar/heap events/sec on the storm reaches "
         "this ratio (default 0 = report only)"},
+       {"prof",
+        "profiled re-run per row: fold prof/*_ns host-time gauges into "
+        "--json records (report-only perfdiff watches) and print self-time "
+        "tables"},
+       {"max-overhead-pct",
+        "fail (exit 1) if the attached-profiler wall-clock overhead on the "
+        "gaussian-250 smoke exceeds this percentage (min-of-3 walls per "
+        "side; default 0 = report only, requires --prof)"},
        {"json", "write BENCH_simspeed.json records to this file"}});
 
   const auto n_events = static_cast<std::uint64_t>(flags.get_int("events", 1000000));
@@ -190,6 +237,7 @@ int main(int argc, char** argv) {
   const auto ncomp = static_cast<std::uint32_t>(flags.get_int("components", 256));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
   const auto cores = static_cast<std::uint32_t>(flags.get_int("cores", 32));
+  const bool prof_mode = flags.get_bool("prof", false);
   const QueueKind saved_default = default_queue_kind();
 
   std::printf("simspeed: DES kernel throughput, heap vs calendar\n\n");
@@ -230,11 +278,27 @@ int main(int argc, char** argv) {
   add(storm_label, "heap", heap.events, heap.wall_us, heap.events_per_sec, 1.0);
   add(storm_label, "calendar", cal.events, cal.wall_us, cal.events_per_sec,
       storm_speedup);
+
+  // Profiled re-runs attribute the measured wall time; the *measurement*
+  // rows above stay detached so attribution never taxes the headline
+  // events/sec numbers.
+  HostProfile heap_host, cal_host;
+  if (prof_mode) {
+    telemetry::ProfileData dh, dc;
+    run_storm(QueueKind::kBinaryHeap, n_events, inflight, ncomp, seed, &dh);
+    run_storm(QueueKind::kCalendar, n_events, inflight, ncomp, seed, &dc);
+    heap_host = host_profile_from(dh);
+    cal_host = host_profile_from(dc);
+    std::printf("--- %s kernel-calendar self-time (profiled re-run) ---\n%s\n",
+                storm_label.c_str(),
+                telemetry::profile_top_table(dc, 10).c_str());
+  }
   out.append(record(storm_label, QueueKind::kBinaryHeap, 1, heap.makespan,
-                    heap.events, heap.wall_us, heap.events_per_sec, 1.0));
+                    heap.events, heap.wall_us, heap.events_per_sec, 1.0,
+                    prof_mode ? &heap_host : nullptr));
   out.append(record(storm_label, QueueKind::kCalendar, 1, cal.makespan,
-                    cal.events, cal.wall_us, cal.events_per_sec,
-                    storm_speedup));
+                    cal.events, cal.wall_us, cal.events_per_sec, storm_speedup,
+                    prof_mode ? &cal_host : nullptr));
 
   // --- Table II workloads through the full stack ---
   std::vector<std::string> selected =
@@ -257,10 +321,22 @@ int main(int argc, char** argv) {
         h.events_per_sec > 0.0 ? c.events_per_sec / h.events_per_sec : 0.0;
     add(name, "heap", h.events, h.wall_us, h.events_per_sec, 1.0);
     add(name, "calendar", c.events, c.wall_us, c.events_per_sec, ratio);
+    HostProfile h_host, c_host;
+    if (prof_mode) {
+      telemetry::ProfileData dh, dc;
+      run_workload(QueueKind::kBinaryHeap, tr, cores, &dh);
+      run_workload(QueueKind::kCalendar, tr, cores, &dc);
+      h_host = host_profile_from(dh);
+      c_host = host_profile_from(dc);
+      std::printf("--- %s kernel-calendar self-time (profiled re-run) ---\n%s\n",
+                  name.c_str(), telemetry::profile_top_table(dc, 10).c_str());
+    }
     out.append(record(name, QueueKind::kBinaryHeap, cores, h.makespan,
-                      h.events, h.wall_us, h.events_per_sec, 1.0));
+                      h.events, h.wall_us, h.events_per_sec, 1.0,
+                      prof_mode ? &h_host : nullptr));
     out.append(record(name, QueueKind::kCalendar, cores, c.makespan, c.events,
-                      c.wall_us, c.events_per_sec, ratio));
+                      c.wall_us, c.events_per_sec, ratio,
+                      prof_mode ? &c_host : nullptr));
   }
   set_default_queue_kind(saved_default);
 
@@ -279,6 +355,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: storm speedup %.2fx < required %.2fx\n",
                  storm_speedup, min_speedup);
     rc = 1;
+  }
+
+  // Attached-overhead smoke: the profiler's whole value proposition is that
+  // leaving it attached is cheap. Min-of-3 walls per side on the fig9
+  // workload (gaussian-250, full Nexus# stack) filters scheduler noise —
+  // the *minimum* wall is the least-perturbed run each side achieved.
+  const double max_overhead = flags.get_double("max-overhead-pct", 0.0);
+  if (prof_mode) {
+    const Trace smoke = workloads::make_workload("gaussian-250");
+    double detached_us = 0.0, attached_us = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double d = run_workload(QueueKind::kCalendar, smoke, 8).wall_us;
+      telemetry::ProfileData unused;
+      const double a =
+          run_workload(QueueKind::kCalendar, smoke, 8, &unused).wall_us;
+      if (detached_us == 0.0 || d < detached_us) detached_us = d;
+      if (attached_us == 0.0 || a < attached_us) attached_us = a;
+    }
+    const double overhead_pct =
+        detached_us > 0.0 ? (attached_us - detached_us) / detached_us * 100.0
+                          : 0.0;
+    std::printf("profiler overhead smoke (gaussian-250, min of 3): "
+                "detached %.2f ms, attached %.2f ms, overhead %.1f%%\n",
+                detached_us * 1e-3, attached_us * 1e-3, overhead_pct);
+    if (max_overhead > 0.0 && overhead_pct > max_overhead) {
+      std::fprintf(stderr, "FAIL: profiler overhead %.1f%% > allowed %.1f%%\n",
+                   overhead_pct, max_overhead);
+      rc = 1;
+    }
   }
   if (flags.has("json") && !out.write(flags.get("json", ""))) rc = 2;
   return rc;

@@ -14,6 +14,10 @@
 #   scripts/check.sh --trace         # additionally export a fig9 Chrome
 #                                    # trace and validate it with
 #                                    # scripts/validate_trace.py
+#   scripts/check.sh --prof          # additionally run nexus-prof on the
+#                                    # fig9 workload, validate the profile
+#                                    # with scripts/validate_profile.py, and
+#                                    # smoke the attached-overhead bound
 #
 # Exit code is nonzero if any configure, build, test, smoke, or diff step
 # fails.
@@ -25,6 +29,7 @@ SANITIZE=0
 BENCH=0
 DIFF=0
 TRACE=0
+PROF=0
 LABEL=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -32,6 +37,7 @@ while [[ $# -gt 0 ]]; do
     --bench) BENCH=1 ;;
     --diff) BENCH=1; DIFF=1 ;;
     --trace) TRACE=1 ;;
+    --prof) PROF=1 ;;
     --label) LABEL="${2:?--label needs an argument (unit|integration)}"; shift ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -114,7 +120,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/fig9_gaussian_speedup" --quick --json BENCH_fig9.json --timeline
   smoke "${B}/ablation_topology" --quick --json BENCH_topology.json --timeline
   smoke "${B}/ablation_placement" --quick --json BENCH_placement.json --timeline
-  smoke "${B}/simspeed" --json BENCH_simspeed.json
+  smoke "${B}/simspeed" --prof --json BENCH_simspeed.json
   smoke "${B}/ablation_serving" --quick --json BENCH_serving.json
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
@@ -138,6 +144,28 @@ if [[ "${TRACE}" -eq 1 ]]; then
   echo "==> trace smoke (fig9 Chrome trace export + validation)"
   build/bench/fig9_gaussian_speedup --trace build/trace_fig9.json
   python3 scripts/validate_trace.py build/trace_fig9.json
+fi
+
+if [[ "${PROF}" -eq 1 ]]; then
+  # Profile the fig9 workload (the finest-grained run the paper has) and
+  # validate the frozen tree's reconciliation invariants: self >= 0
+  # everywhere, total == self + children exactly, and the root total within
+  # tolerance of the independently measured wall time.
+  echo "==> profile smoke (nexus-prof on fig9 + validation)"
+  build/tools/nexus-prof --workloads=gaussian-250 --managers='nexus#-2TG' \
+    --topologies=ideal --cores=8 --json build/profile_fig9.json \
+    --collapsed build/profile_fig9.collapsed >/dev/null
+  python3 scripts/validate_profile.py build/profile_fig9.json
+  # Attached-overhead smoke. Per-scope instrumentation costs two clock
+  # reads (~30 ns here) against ~50 ns/event of simulated work, so an
+  # attached run lands near 2x wall on this finest-grained workload; the
+  # generous bound is there to catch pathological regressions (a syscall or
+  # allocation sneaking onto the hot path), not to pretend attribution is
+  # free. Detached overhead is the contract that must stay at zero, and
+  # that one is gated bit-exactly by profiler_test.
+  echo "==> profiler attached-overhead smoke (simspeed --prof)"
+  build/bench/simspeed --events=200000 --inflight=100000 --workloads=none \
+    --prof --max-overhead-pct=400 >/dev/null
 fi
 
 echo "==> all checks passed"

@@ -8,6 +8,7 @@
 #include "nexus/cost/fpga_model.hpp"
 #include "nexus/runtime/ideal_manager.hpp"
 #include "nexus/runtime/list_scheduler.hpp"
+#include "nexus/telemetry/profiler.hpp"
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/telemetry/trace_export.hpp"
 #include "nexus/telemetry/writers.hpp"
@@ -131,9 +132,17 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
     spans = std::make_unique<telemetry::TraceRecorder>();
     rc.trace = spans.get();
   }
+  // Per-run profile node: everything the driver attributes nests under it,
+  // so a multi-run binary (a sweep, a grid) keeps each run's time separate.
+  std::uint32_t run_node = 0;
+  if (rc.profiler != nullptr) {
+    run_node = rc.profiler->node(rc.profile_parent, "run");
+    rc.profile_parent = run_node;
+  }
   RunReport rep;
   rep.topology = topology_label(spec, base);
   rep.placement = placement_label(spec, base);
+  telemetry::ProfScope prof_scope(rc.profiler, run_node);
   switch (spec.kind) {
     case ManagerSpec::Kind::kIdeal: {
       IdealManager mgr;
@@ -190,18 +199,31 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
              const telemetry::TimelineConfig* timeline) {
   Series s;
   s.label = spec.label;
+  // Per-sweep-point profile nodes: "sweep:<label>" / "c<cores>", so a
+  // profiled sweep separates its points (and the harness glue around each
+  // run lands in the point's self time).
+  std::uint32_t sweep_node = 0;
+  if (base.profiler != nullptr)
+    sweep_node = base.profiler->node(base.profile_parent, "sweep:" + s.label);
   for (const std::uint32_t c : cores) {
+    RuntimeConfig pt = base;
+    std::uint32_t point_node = 0;
+    if (base.profiler != nullptr) {
+      point_node = base.profiler->node(sweep_node, "c" + std::to_string(c));
+      pt.profile_parent = point_node;
+    }
+    telemetry::ProfScope prof_scope(base.profiler, point_node);
     SweepPoint p;
     p.cores = c;
     p.topology = topology_label(spec, base);
     p.placement = placement_label(spec, base);
     if (collect_metrics || timeline != nullptr) {
-      RunReport rep = run_once_report(trace, spec, c, base, true, timeline);
+      RunReport rep = run_once_report(trace, spec, c, pt, true, timeline);
       p.makespan = rep.result.makespan;
       p.metrics = std::move(rep.metrics);
       p.timeline = std::move(rep.timeline);
     } else {
-      p.makespan = run_once(trace, spec, c, base);
+      p.makespan = run_once(trace, spec, c, pt);
     }
     p.speedup = p.makespan > 0 ? static_cast<double>(baseline) /
                                      static_cast<double>(p.makespan)
@@ -247,7 +269,7 @@ std::string metrics_report_json(std::string_view bench, std::string_view workloa
                                 std::string_view placement) {
   telemetry::JsonWriter w;
   w.begin_object();
-  w.kv("schema", 3);
+  w.kv("schema", 4);
   w.kv("bench", bench);
   w.kv("workload", workload);
   w.kv("manager", manager);

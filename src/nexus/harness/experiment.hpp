@@ -135,7 +135,7 @@ Series sweep(const Trace& trace, const ManagerSpec& spec,
 telemetry::TimelineConfig bench_timeline_config();
 
 /// One machine-readable per-run record for the BENCH_*.json trajectory:
-/// {"schema": 3, "bench", "workload", "manager", "cores", "makespan",
+/// {"schema": 4, "bench", "workload", "manager", "cores", "makespan",
 ///  "speedup", "metrics": {...}} — makespan in integer picoseconds, metrics
 /// the flat snapshot object ({} when `metrics` is null). A non-null
 /// `timeline` appends a "timeline" object (see append_timeline for its

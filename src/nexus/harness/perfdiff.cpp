@@ -229,6 +229,15 @@ std::vector<WatchedRate> default_watched_rates() {
       // Saturation-knee throughput (serving rows only): shrinking the
       // sustainable rate is the regression.
       {"knee_throughput", "serving/knee_hz", true, 10.0, false, true},
+      // Schema-4 host-time attribution (simspeed --prof rows): where the
+      // simulator's own wall clock went. Report-only — host time moves with
+      // the machine, the load, and the thermal du jour, so no tolerance is
+      // tight enough to gate on and wide enough to stay quiet — and
+      // require_both so schema-3 baselines skip rather than fail.
+      {"host_pop_ns", "prof/pop_ns", false, 0.0, false, true, true},
+      {"host_push_ns", "prof/push_ns", false, 0.0, false, true, true},
+      {"host_handle_ns", "prof/handle_ns", false, 0.0, false, true, true},
+      {"host_profiled_ns", "prof/total_ns", false, 0.0, false, true, true},
   };
 }
 
@@ -357,6 +366,15 @@ PerfdiffResult perfdiff_compare(const std::vector<BenchRecord>& baseline,
           base.metric_sum(rate.numerator) / (rate.per_task ? base.tasks() : 1.0);
       const double c = cand.metric_sum(rate.numerator) /
                        (rate.per_task ? cand.tasks() : 1.0);
+      if (rate.report_only) {
+        // Echoed, never gated: the field exists so a human scanning the
+        // report sees where host time moved, not so CI fails on it.
+        if (!opts.quiet)
+          line(fmt("  [info]    %s: %s %.6g -> %.6g (%+.1f%%; report-only)",
+                   cand.key().c_str(), rate.name.c_str(), b, c,
+                   pct_change(b, c)));
+        continue;
+      }
       const double tol = rate.tolerance_pct > 0.0 ? rate.tolerance_pct
                                                   : opts.metric_tolerance_pct;
       // Overhead rates regress by growing; throughput rates by shrinking.

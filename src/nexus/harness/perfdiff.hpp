@@ -28,7 +28,7 @@ namespace nexus::harness {
 /// written by metrics_report_json). Records without the field are treated as
 /// schema 1 (the PR-2 format); anything newer is a hard parse error so
 /// future format changes are detected instead of mis-read.
-inline constexpr int kBenchRecordSchema = 3;
+inline constexpr int kBenchRecordSchema = 4;
 
 /// One flattened BENCH_*.json record. Histogram metrics contribute
 /// "<path>:count/:sum/:min/:max/:mean" scalar entries (schema 3 adds
@@ -95,9 +95,15 @@ struct WatchedRate {
   bool per_task = true;
   /// Skip the check unless *both* records carry a matching metric. Quantile
   /// fields only exist on schema-3 records and knee gauges only on serving
-  /// rows; metric_sum's 0-for-absent would otherwise misread an old
-  /// baseline vs a new candidate as a was-zero regression.
+  /// rows (host-time fields only on schema-4); metric_sum's 0-for-absent
+  /// would otherwise misread an old baseline vs a new candidate as a
+  /// was-zero regression.
   bool require_both = false;
+  /// Echo the change as an "[info]" line but never count it as a
+  /// regression. For fields too noisy to gate on at any tolerance — the
+  /// schema-4 host wall-clock attribution (prof/*_ns) varies with the
+  /// machine, not the code under test.
+  bool report_only = false;
 };
 
 /// The default watch list: arbiter conflict/retry rates, dep-count park

@@ -31,6 +31,10 @@ void NexusPP::bind_trace(telemetry::TraceRecorder* trace) {
                    {"insert", "finish", "pump", "ready", "wb"});
 }
 
+void NexusPP::bind_profiler(Simulation& sim) {
+  net_->bind_profiler(sim, {"insert", "finish", "pump", "ready", "wb"});
+}
+
 void NexusPP::attach(Simulation& sim, RuntimeHost* host) {
   NEXUS_ASSERT(host != nullptr);
   host_ = host;

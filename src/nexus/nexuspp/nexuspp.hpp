@@ -74,6 +74,7 @@ class NexusPP final : public TaskManagerModel, public Component {
   /// Attach a span recorder: dependency-resolution stamps and edges, table
   /// port occupancy spans, pool/dep-count depth counters, NoC flow events.
   void bind_trace(telemetry::TraceRecorder* trace) override;
+  void bind_profiler(Simulation& sim) override;
   [[nodiscard]] const char* name() const override { return "nexus++"; }
 
   // Component

@@ -41,6 +41,11 @@ void NexusSharp::bind_trace(telemetry::TraceRecorder* trace) {
     tgs_[i]->bind_trace(trace);
 }
 
+void NexusSharp::bind_profiler(Simulation& sim) {
+  net_->bind_profiler(sim,
+                      {"new_arg|ready", "fin_arg|wait", "dep", "meta", "wb"});
+}
+
 void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
   pool_.bind_telemetry(reg, "nexus#/pool");
   net_->bind_telemetry(reg, "nexus#/noc");

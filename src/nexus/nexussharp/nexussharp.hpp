@@ -46,6 +46,7 @@ class NexusSharp final : public TaskManagerModel, public Component {
   /// (arbiter + task graphs), table/arbiter occupancy spans, pool and
   /// dep-count depth counters, NoC flow events.
   void bind_trace(telemetry::TraceRecorder* trace) override;
+  void bind_profiler(Simulation& sim) override;
   [[nodiscard]] const char* name() const override { return "nexus#"; }
 
   // Component (front-end events)

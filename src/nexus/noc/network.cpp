@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "nexus/telemetry/profiler.hpp"
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/telemetry/trace.hpp"
 
@@ -65,6 +66,25 @@ void Network::bind_trace(telemetry::TraceRecorder* trace,
     trace_links_.push_back(topo_.link_label(l));
 }
 
+void Network::bind_profiler(Simulation& sim, std::vector<std::string> op_names) {
+  prof_ = sim.profiler();
+  if (prof_ == nullptr) return;
+  prof_parent_ = sim.profiler_component_node(self_);
+  // Share the op spellings with the trace layer so a profile and a trace of
+  // the same run agree on message-kind names.
+  if (trace_ops_.empty()) trace_ops_ = std::move(op_names);
+  prof_send_.clear();
+}
+
+std::uint32_t Network::prof_send_node(std::uint32_t op) {
+  while (prof_send_.size() <= op) {
+    const auto next = static_cast<std::uint32_t>(prof_send_.size());
+    prof_send_.push_back(
+        prof_->node(prof_parent_, "send:" + std::string(op_label(next))));
+  }
+  return prof_send_[op];
+}
+
 std::string_view Network::op_label(std::uint32_t op) {
   // Fallback labels are grown on demand and kept, so the recorder's string
   // interner always sees a stable spelling for a given op code.
@@ -78,6 +98,8 @@ void Network::send(Simulation& sim, Tick depart, NodeId src, NodeId dst,
                    std::uint64_t b, std::uint32_t payload_bytes) {
   NEXUS_DCHECK(depart >= sim.now());
   NEXUS_DCHECK(src < topo_.endpoints() && dst < topo_.endpoints());
+  telemetry::ProfScope prof_scope(prof_,
+                                  prof_ != nullptr ? prof_send_node(op) : 0);
   const std::uint32_t flits = flits_for(payload_bytes);
   ++messages_;
   injected_flits_ += flits;

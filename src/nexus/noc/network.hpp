@@ -86,6 +86,14 @@ class Network final : public Component {
   void bind_trace(telemetry::TraceRecorder* trace, std::string_view name,
                   std::vector<std::string> op_names = {});
 
+  /// Attach the host profiler bound to `sim` (no-op if none): send() time
+  /// accumulates into per-op-kind "send:<label>" children of this
+  /// component's profile node, so the profile separates injection cost by
+  /// message kind from the hop/delivery time handled under the component
+  /// node itself. Call after attach(); shares op spellings with
+  /// bind_trace when both are bound.
+  void bind_profiler(Simulation& sim, std::vector<std::string> op_names = {});
+
   // --- introspection for tests and reports ---
   struct Stats {
     std::uint64_t messages = 0;   ///< send() calls
@@ -125,6 +133,7 @@ class Network final : public Component {
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
   void hop(Simulation& sim, std::uint32_t slot);
   [[nodiscard]] std::string_view op_label(std::uint32_t op);
+  [[nodiscard]] std::uint32_t prof_send_node(std::uint32_t op);
 
   /// Everything a hop touches about one link, in one cache line: the
   /// serialization horizon, the stats mirrors, and the telemetry pointers.
@@ -160,6 +169,10 @@ class Network final : public Component {
   Tick stall_ticks_ = 0;
   std::uint64_t max_in_flight_ = 0;
   std::vector<std::uint64_t> traffic_;  ///< endpoints x endpoints, flits
+
+  telemetry::Profiler* prof_ = nullptr;
+  std::uint32_t prof_parent_ = 0;
+  std::vector<std::uint32_t> prof_send_;  ///< per-op nodes, grown on demand
 
   telemetry::TraceRecorder* trace_ = nullptr;
   std::string trace_name_;

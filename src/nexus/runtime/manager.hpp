@@ -80,6 +80,13 @@ class TaskManagerModel {
   /// untraced.
   virtual void bind_trace(telemetry::TraceRecorder* trace) { (void)trace; }
 
+  /// Attach the host-side self-profiler bound to `sim` (see
+  /// telemetry/profiler.hpp). Called once, *after* attach and after
+  /// Simulation::bind_profiler, when the run profiles — component handle()
+  /// time is already attributed by the kernel; managers that own internal
+  /// networks forward this so their message kinds get per-op send nodes.
+  virtual void bind_profiler(Simulation& sim) { (void)sim; }
+
   [[nodiscard]] virtual const char* name() const = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "nexus/telemetry/profiler.hpp"
 #include "nexus/telemetry/registry.hpp"
 #include "nexus/telemetry/timeline.hpp"
 #include "nexus/telemetry/trace.hpp"
@@ -74,6 +75,20 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
   }
   if (config_.trace != nullptr && host_net_ != nullptr)
     host_net_->bind_trace(config_.trace, "runtime/noc");
+  if (config_.profiler != nullptr) {
+    // After every attach, so the per-component-type handle() nodes cover
+    // the manager's components and the host NoC alike.
+    prof_ = config_.profiler;
+    sim_.bind_profiler(*prof_, config_.profile_parent);
+    manager_.bind_profiler(sim_);
+    const std::uint32_t me = sim_.profiler_component_node(self_);
+    prof_dispatch_ = prof_->node(me, "dispatch");
+    prof_notify_ = prof_->node(me, "notify");
+    if (host_net_ != nullptr) {
+      host_net_->bind_profiler(sim_, {"master_step", "task_done",
+                                      "worker_free", "dispatch", "notify"});
+    }
+  }
   if (config_.timeline != nullptr) {
     NEXUS_ASSERT_MSG(config_.metrics != nullptr,
                      "RuntimeConfig::timeline requires RuntimeConfig::metrics");
@@ -259,6 +274,7 @@ void Driver::master_resume(Simulation& sim) {
 }
 
 void Driver::try_dispatch(Simulation& sim) {
+  telemetry::ProfScope prof_scope(prof_, prof_dispatch_);
   while (workers_.any_free() && !ready_queue_.empty()) {
     const TaskId id = ready_queue_.front();
     ready_queue_.pop_front();
@@ -318,6 +334,7 @@ void Driver::on_task_done(Simulation& sim, std::uint32_t worker, TaskId id) {
 }
 
 void Driver::on_notify(Simulation& sim, std::uint32_t worker, TaskId id) {
+  telemetry::ProfScope prof_scope(prof_, prof_notify_);
   NEXUS_ASSERT(!finished_[id]);
   finished_[id] = true;
   ++finished_count_;

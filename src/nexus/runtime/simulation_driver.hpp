@@ -101,6 +101,16 @@ struct RuntimeConfig {
   /// Recording is append-only and cannot perturb the schedule: a traced
   /// run is bit-identical to an untraced one (tested contract).
   telemetry::TraceRecorder* trace = nullptr;
+
+  /// If nonnull, the run attributes its own host wall-clock time into this
+  /// profiler under `profile_parent` (see telemetry/profiler.hpp): the DES
+  /// queue ops, per-component-type handle() time, NoC send() per message
+  /// kind, and the driver's dispatch/notify paths. Null keeps every hook a
+  /// single branch and the schedule bit-identical (tested contract).
+  telemetry::Profiler* profiler = nullptr;
+  /// Profile node the run's instrumentation nests under (e.g. a per-run
+  /// node the harness created); Profiler::kRoot when unset.
+  std::uint32_t profile_parent = 0;
 };
 
 struct RunResult {
@@ -188,6 +198,10 @@ class Driver final : public Component, public RuntimeHost {
   std::uint64_t outstanding_ = 0;  ///< submitted but not finished
   std::uint64_t finished_count_ = 0;
   Tick last_activity_ = 0;
+
+  telemetry::Profiler* prof_ = nullptr;
+  std::uint32_t prof_dispatch_ = 0;  ///< driver-node child: try_dispatch time
+  std::uint32_t prof_notify_ = 0;    ///< driver-node child: on_notify time
 
   telemetry::Histogram* m_ready_depth_ = nullptr;  ///< host ready-queue depth
   telemetry::Counter* m_dispatches_ = nullptr;

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "nexus/common/assert.hpp"
+#include "nexus/telemetry/profiler.hpp"
 
 namespace nexus {
 
@@ -90,7 +91,10 @@ void CalendarQueue::insert_sorted(Bucket& b, const Event& ev) {
 
 void CalendarQueue::push(const Event& ev) {
   NEXUS_DCHECK(ev.t >= 0);
-  insert_sorted(buckets_[bucket_of(ev.t)], ev);
+  Bucket& b = buckets_[bucket_of(ev.t)];
+  insert_sorted(b, ev);
+  const std::uint64_t pending = b.events.size() - b.head;
+  if (pending > max_bucket_) max_bucket_ = pending;
   ++size_;
   // An event earlier than the served window (possible for a fresh queue, or
   // for direct users that do not follow the kernel's monotonic-time
@@ -131,15 +135,18 @@ Event CalendarQueue::pop() {
   // far in the future. Jump the server straight to the earliest bucket
   // front instead of scanning year by year.
   ++sweeps_;
-  const Bucket* best = nullptr;
-  for (const Bucket& b : buckets_) {
-    if (b.drained()) continue;
-    if (best == nullptr ||
-        EventEarlier{}(b.events[b.head], best->events[best->head]))
-      best = &b;
+  {
+    telemetry::ProfScope ps(prof_, prof_sweep_);
+    const Bucket* best = nullptr;
+    for (const Bucket& b : buckets_) {
+      if (b.drained()) continue;
+      if (best == nullptr ||
+          EventEarlier{}(b.events[b.head], best->events[best->head]))
+        best = &b;
+    }
+    NEXUS_ASSERT_MSG(best != nullptr, "CalendarQueue lost events");
+    aim_at(best->events[best->head].t);
   }
-  NEXUS_ASSERT_MSG(best != nullptr, "CalendarQueue lost events");
-  aim_at(best->events[best->head].t);
   return pop();
 }
 
@@ -156,6 +163,7 @@ void CalendarQueue::resize_if_needed() {
 
 void CalendarQueue::rebuild(std::size_t nbuckets) {
   NEXUS_DCHECK(std::has_single_bit(nbuckets));
+  telemetry::ProfScope ps(prof_, prof_rebuild_);
   // Gather the pending events, releasing the old slabs as we go.
   std::vector<Event> pending = arena_.acquire();
   pending.reserve(size_);
@@ -202,6 +210,8 @@ CalendarQueue::Stats CalendarQueue::stats() const {
   s.sweeps = sweeps_;
   s.arena_allocs = arena_.allocs();
   s.arena_reuses = arena_.reuses();
+  s.arena_high_water = arena_.high_water();
+  s.max_bucket = max_bucket_;
   return s;
 }
 

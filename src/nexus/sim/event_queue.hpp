@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "nexus/sim/event.hpp"
+#include "nexus/telemetry/fwd.hpp"
 
 namespace nexus {
 
@@ -74,15 +75,19 @@ class EventArena {
     if (v.capacity() == 0) return;  // nothing worth pooling
     v.clear();
     free_.push_back(std::move(v));
+    if (free_.size() > high_water_) high_water_ = free_.size();
   }
 
   [[nodiscard]] std::uint64_t allocs() const { return allocs_; }
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  /// Most slabs ever parked in the pool at once (memory footprint bound).
+  [[nodiscard]] std::uint64_t high_water() const { return high_water_; }
 
  private:
   std::vector<std::vector<Event>> free_;
   std::uint64_t allocs_ = 0;
   std::uint64_t reuses_ = 0;
+  std::uint64_t high_water_ = 0;
 };
 
 /// Calendar-queue scheduler with exact (t, seq) pop order.
@@ -98,15 +103,27 @@ class CalendarQueue {
   [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t size() const { return size_; }
 
-  // --- introspection for the differential/stress tests ---
+  // --- introspection for the differential/stress tests and telemetry ---
   struct Stats {
     std::uint64_t grows = 0;      ///< bucket-array doublings
     std::uint64_t shrinks = 0;    ///< bucket-array halvings
     std::uint64_t sweeps = 0;     ///< full-rotation direct-search fallbacks
     std::uint64_t arena_allocs = 0;
     std::uint64_t arena_reuses = 0;
+    std::uint64_t arena_high_water = 0;  ///< most slabs ever pooled at once
+    std::uint64_t max_bucket = 0;        ///< deepest single-bucket occupancy
   };
   [[nodiscard]] Stats stats() const;
+
+  /// Attach the host-side profiler to the cold structural paths (bucket
+  /// rebuilds and straggler-sweep fallbacks). Null-safe; hot push/pop are
+  /// timed by the Simulation loop instead, so this adds nothing there.
+  void bind_profiler(telemetry::Profiler* p, std::uint32_t rebuild_node,
+                     std::uint32_t sweep_node) {
+    prof_ = p;
+    prof_rebuild_ = rebuild_node;
+    prof_sweep_ = sweep_node;
+  }
 
  private:
   /// One calendar day: a (t, seq)-sorted vector plus a served-prefix head.
@@ -144,6 +161,11 @@ class CalendarQueue {
   std::uint64_t grows_ = 0;
   std::uint64_t shrinks_ = 0;
   std::uint64_t sweeps_ = 0;
+  std::uint64_t max_bucket_ = 0;
+
+  telemetry::Profiler* prof_ = nullptr;
+  std::uint32_t prof_rebuild_ = 0;
+  std::uint32_t prof_sweep_ = 0;
 };
 
 /// The facade Simulation drains: one branch on `kind()` per operation, so
@@ -157,8 +179,10 @@ class EventQueue {
   void push(const Event& ev) {
     if (kind_ == QueueKind::kCalendar) {
       cal_.push(ev);
+      if (cal_.size() > max_depth_) max_depth_ = cal_.size();
     } else {
       heap_.push(ev);
+      if (heap_.size() > max_depth_) max_depth_ = heap_.size();
     }
   }
 
@@ -183,10 +207,20 @@ class EventQueue {
                                          : CalendarQueue::Stats{};
   }
 
+  /// Deepest the pending set has ever been (either implementation).
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+
+  /// Forwarded to the calendar's cold structural paths (no-op under heap).
+  void bind_profiler(telemetry::Profiler* p, std::uint32_t rebuild_node,
+                     std::uint32_t sweep_node) {
+    cal_.bind_profiler(p, rebuild_node, sweep_node);
+  }
+
  private:
   QueueKind kind_;
   std::priority_queue<Event, std::vector<Event>, EventLater> heap_;
   CalendarQueue cal_;
+  std::size_t max_depth_ = 0;
 };
 
 }  // namespace nexus

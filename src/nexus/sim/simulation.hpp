@@ -51,11 +51,33 @@ class Simulation {
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
   /// Register kernel metrics under `prefix`: total events, a histogram of
-  /// time advances, and per-component event counts plus inter-event sim-time
-  /// histograms ("<prefix>/c<i>_<label>/..."). Call after every component
-  /// has been added (attach time); later components are not covered.
+  /// time advances, per-component event counts plus inter-event sim-time
+  /// histograms ("<prefix>/c<i>_<label>/..."), and the event-queue
+  /// structure gauges ("<prefix>/queue/...": calendar grows/shrinks/sweeps,
+  /// arena alloc/reuse/high-water, max bucket occupancy, max pending
+  /// depth — flushed from the queue's cumulative counters at the end of
+  /// each run()/run_some() call). Call after every component has been
+  /// added (attach time); later components are not covered.
   void bind_telemetry(telemetry::MetricRegistry& reg,
                       std::string_view prefix = "sim");
+
+  /// Attach the host-side self-profiler (not owned). Creates a stable node
+  /// layout under `parent`: "queue" with push/pop/rebuild/sweep timers and
+  /// the calendar/arena structure stats, and "handle" with one child per
+  /// component *type* (telemetry_label(), so replicated components
+  /// aggregate). Call after every component has been added, like
+  /// bind_telemetry. Detached (never called), the hot loop pays a single
+  /// branch per run call and schedules stay bit-identical.
+  void bind_profiler(telemetry::Profiler& prof, std::uint32_t parent = 0);
+
+  /// The profile node a component's handle() time accumulates into
+  /// (valid after bind_profiler; used by components that want op-level
+  /// children of their own node, e.g. noc::Network and the driver).
+  [[nodiscard]] std::uint32_t profiler_component_node(std::uint32_t comp) const {
+    return comp < prof_comp_node_.size() ? prof_comp_node_[comp] : prof_handle_;
+  }
+
+  [[nodiscard]] telemetry::Profiler* profiler() const { return prof_; }
 
   /// Attach a periodic metric sampler (not owned; may be null to detach).
   /// Before each event is dispatched, the recorder is advanced to the event's
@@ -76,6 +98,15 @@ class Simulation {
   void observe_slow(const Event& ev);
   void sample_to(Tick t);
 
+  /// The instrumented twin of the run loops (only entered when a profiler
+  /// is bound, so the detached loops stay untouched).
+  bool run_profiled(std::uint64_t max_events);
+  /// Re-flush the queue's cumulative structure stats into their profile
+  /// nodes (absolute values, so repeated flushes are idempotent).
+  void flush_queue_stats();
+  /// Same, into the telemetry gauges (run epilogue; one null check).
+  void flush_queue_metrics();
+
   EventQueue queue_;
   std::vector<Component*> components_;
   Tick now_ = 0;
@@ -83,12 +114,36 @@ class Simulation {
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
 
+  telemetry::Profiler* prof_ = nullptr;
+  std::uint32_t prof_push_ = 0;
+  std::uint32_t prof_pop_ = 0;
+  std::uint32_t prof_handle_ = 0;
+  std::vector<std::uint32_t> prof_comp_node_;  ///< per component id
+  std::uint32_t prof_grows_ = 0;
+  std::uint32_t prof_shrinks_ = 0;
+  std::uint32_t prof_arena_alloc_ = 0;
+  std::uint32_t prof_arena_reuse_ = 0;
+  std::uint32_t prof_arena_high_ = 0;
+  std::uint32_t prof_max_bucket_ = 0;
+  std::uint32_t prof_max_depth_ = 0;
+
   telemetry::TimelineRecorder* sampler_ = nullptr;
   telemetry::Counter* m_events_ = nullptr;
   telemetry::Histogram* m_advance_ = nullptr;  ///< now() jumps, in ps
   std::vector<telemetry::Counter*> comp_events_;
   std::vector<telemetry::Histogram*> comp_gap_;  ///< per-component event gaps
   std::vector<Tick> comp_last_;
+
+  // Event-queue structure gauges (null until bind_telemetry; flushed from
+  // the queue's cumulative counters at the end of each run call).
+  telemetry::Gauge* m_q_grows_ = nullptr;
+  telemetry::Gauge* m_q_shrinks_ = nullptr;
+  telemetry::Gauge* m_q_sweeps_ = nullptr;
+  telemetry::Gauge* m_q_arena_allocs_ = nullptr;
+  telemetry::Gauge* m_q_arena_reuses_ = nullptr;
+  telemetry::Gauge* m_q_arena_high_ = nullptr;
+  telemetry::Gauge* m_q_max_bucket_ = nullptr;
+  telemetry::Gauge* m_q_max_depth_ = nullptr;
 };
 
 }  // namespace nexus

@@ -17,6 +17,8 @@ struct Timeline;
 struct TimelineConfig;
 class TraceRecorder;
 struct TraceData;
+class Profiler;
+struct ProfileData;
 
 /// Simulation time as recorded by the trace layer (mirrors nexus::Tick
 /// without depending on the sim headers; -1 marks an unset boundary).

@@ -1,0 +1,115 @@
+#include "nexus/telemetry/profile_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "nexus/telemetry/writers.hpp"
+
+namespace nexus::telemetry {
+
+namespace {
+
+void append_node(JsonWriter& w, const ProfileData& data, std::uint32_t ix) {
+  const ProfileNode& nd = data.nodes[ix];
+  w.begin_object();
+  w.kv("name", nd.name);
+  w.kv("self_ns", nd.self_ns);
+  w.kv("total_ns", nd.total_ns);
+  w.kv("count", nd.count);
+  if (nd.max != 0) w.kv("max", nd.max);
+  if (!nd.children.empty()) {
+    w.key("children").begin_array();
+    for (std::uint32_t kid : nd.children) append_node(w, data, kid);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void collect_collapsed(const ProfileData& data, std::uint32_t ix,
+                       std::string& out) {
+  const ProfileNode& nd = data.nodes[ix];
+  if (nd.self_ns > 0) {
+    out += data.path_of(ix);
+    out += ' ';
+    out += std::to_string(nd.self_ns);
+    out += '\n';
+  }
+  for (std::uint32_t kid : nd.children) collect_collapsed(data, kid, out);
+}
+
+}  // namespace
+
+void append_profile(JsonWriter& w, const ProfileData& data,
+                    std::uint64_t measured_wall_ns) {
+  w.begin_object();
+  w.kv("schema", 1);
+  w.kv("unit", "ns");
+  w.kv("wall_ns", measured_wall_ns);
+  w.kv("profile_wall_ns", data.wall_ns);
+  w.kv("ns_per_tick", data.ns_per_tick);
+  w.key("tree");
+  if (data.nodes.empty()) {
+    w.begin_object().end_object();
+  } else {
+    append_node(w, data, 0);
+  }
+  w.end_object();
+}
+
+std::string profile_json(const ProfileData& data,
+                         std::uint64_t measured_wall_ns) {
+  JsonWriter w;
+  append_profile(w, data, measured_wall_ns);
+  return w.str();
+}
+
+std::string profile_collapsed(const ProfileData& data) {
+  std::string out;
+  if (!data.nodes.empty()) collect_collapsed(data, 0, out);
+  return out;
+}
+
+std::vector<ProfileTopEntry> profile_top(const ProfileData& data,
+                                         std::size_t n) {
+  std::vector<ProfileTopEntry> rows;
+  if (data.nodes.empty()) return rows;
+  const double root_total =
+      data.nodes[0].total_ns > 0
+          ? static_cast<double>(data.nodes[0].total_ns)
+          : 1.0;
+  for (std::uint32_t i = 0; i < data.nodes.size(); ++i) {
+    const ProfileNode& nd = data.nodes[i];
+    if (nd.self_ns == 0) continue;
+    rows.push_back(ProfileTopEntry{
+        .path = data.path_of(i),
+        .self_ns = nd.self_ns,
+        .count = nd.count,
+        .pct = 100.0 * static_cast<double>(nd.self_ns) / root_total,
+    });
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileTopEntry& a, const ProfileTopEntry& b) {
+              if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+              return a.path < b.path;
+            });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+std::string profile_top_table(const ProfileData& data, std::size_t n) {
+  const auto rows = profile_top(data, n);
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%12s %7s %10s  %s\n", "self_ns", "pct",
+                "count", "path");
+  out += buf;
+  for (const ProfileTopEntry& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%12llu %6.2f%% %10llu  %s\n",
+                  static_cast<unsigned long long>(r.self_ns), r.pct,
+                  static_cast<unsigned long long>(r.count), r.path.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nexus::telemetry

@@ -1,0 +1,118 @@
+#include "nexus/telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "nexus/common/assert.hpp"
+
+namespace nexus::telemetry {
+
+Profiler::Profiler() {
+  Node root;
+  root.name = "all";
+  root.parent = kRoot;
+  nodes_.push_back(std::move(root));
+  wall0_ = std::chrono::steady_clock::now();
+  ticks0_ = prof_ticks();
+}
+
+Profiler::NodeId Profiler::node(NodeId parent, std::string_view name) {
+  NEXUS_ASSERT_MSG(parent < nodes_.size(), "profiler: parent node out of range");
+  NEXUS_ASSERT_MSG(!name.empty(), "profiler: node name must be nonempty");
+  for (NodeId kid : nodes_[parent].kids) {
+    if (nodes_[kid].name == name) return kid;
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  Node nd;
+  nd.name = std::string(name);
+  nd.parent = parent;
+  nodes_.push_back(std::move(nd));
+  nodes_[parent].kids.push_back(id);
+  return id;
+}
+
+ProfileData Profiler::freeze() const {
+  // Calibrate ticks -> ns over the profiler's own lifetime. On x86-64 the
+  // TSC is constant-rate, so the longer the baseline the better the
+  // estimate; spin out to >= 1ms so a freeze immediately after
+  // construction (unit tests) can't divide by a degenerate interval.
+  auto wall_elapsed = [&] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0_)
+            .count());
+  };
+  std::uint64_t wall_ns = wall_elapsed();
+  while (wall_ns < 1'000'000) wall_ns = wall_elapsed();
+  const std::uint64_t ticks_elapsed = prof_ticks() - ticks0_;
+  const double ns_per_tick =
+      ticks_elapsed > 0
+          ? static_cast<double>(wall_ns) / static_cast<double>(ticks_elapsed)
+          : 1.0;
+
+  ProfileData out;
+  out.ns_per_tick = ns_per_tick;
+  out.wall_ns = wall_ns;
+  out.nodes.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& src = nodes_[i];
+    ProfileNode& dst = out.nodes[i];
+    dst.name = src.name;
+    dst.parent = src.parent;
+    dst.children = src.kids;
+    std::sort(dst.children.begin(), dst.children.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return nodes_[a].name < nodes_[b].name;
+              });
+    dst.self_ns = static_cast<std::uint64_t>(
+        static_cast<double>(src.self_ticks) * ns_per_tick);
+    dst.total_ns = dst.self_ns;
+    dst.count = src.count;
+    dst.max = src.max;
+  }
+  // node() appends children after their parent, so a reverse walk adds each
+  // node's total into its parent exactly once (root is its own parent).
+  for (std::size_t i = out.nodes.size(); i-- > 1;) {
+    out.nodes[out.nodes[i].parent].total_ns += out.nodes[i].total_ns;
+  }
+  return out;
+}
+
+std::string ProfileData::path_of(std::uint32_t ix) const {
+  NEXUS_ASSERT_MSG(ix < nodes.size(), "profile: node index out of range");
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t n = ix; n != 0; n = nodes[n].parent) chain.push_back(n);
+  std::string path = nodes[0].name;
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    path += ';';
+    path += nodes[chain[i]].name;
+  }
+  return path;
+}
+
+const ProfileNode* ProfileData::find(std::string_view path) const {
+  if (nodes.empty()) return nullptr;
+  std::uint32_t cur = 0;
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t sep = path.find(';', pos);
+    const std::string_view part =
+        path.substr(pos, sep == std::string_view::npos ? path.size() - pos
+                                                       : sep - pos);
+    const ProfileNode& nd = nodes[cur];
+    bool found = false;
+    for (std::uint32_t kid : nd.children) {
+      if (nodes[kid].name == part) {
+        cur = kid;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return nullptr;
+    if (sep == std::string_view::npos) return &nodes[cur];
+    pos = sep + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace nexus::telemetry

@@ -139,6 +139,35 @@ TEST(CalendarQueue, ResizeChurnAndArenaReuse) {
       << "second wave should recycle slabs pooled by the first";
 }
 
+TEST(CalendarQueue, StructureStatsTrackHighWaters) {
+  // The introspection stats the profiler/telemetry surface: arena slab
+  // high-water, densest-bucket occupancy, and the queue's max depth.
+  EventQueue q(QueueKind::kCalendar);
+  std::uint64_t seq = 0;
+  // A same-tick burst makes one bucket visibly dense.
+  for (int i = 0; i < 64; ++i) q.push(ev_at(ns(5), seq++));
+  for (int i = 0; i < 32; ++i) q.push(ev_at(ns(100 + i), seq++));
+  EXPECT_EQ(q.max_depth(), 96u);
+  const CalendarQueue::Stats s = q.calendar_stats();
+  EXPECT_GE(s.max_bucket, 64u) << "the same-tick burst shares one bucket";
+  EXPECT_GT(s.arena_high_water, 0u) << "bucket slabs come from the arena";
+  while (!q.empty()) (void)q.pop();
+  // High-waters are monotone: draining must not lower them.
+  EXPECT_EQ(q.max_depth(), 96u);
+  EXPECT_GE(q.calendar_stats().max_bucket, 64u);
+}
+
+TEST(EventQueueDepth, HeapTracksMaxDepthToo) {
+  // max_depth is queue-kind-independent (it feeds the sim/queue/max_depth
+  // gauge on both kinds).
+  EventQueue q(QueueKind::kBinaryHeap);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 10; ++i) q.push(ev_at(ns(i), seq++));
+  for (int i = 0; i < 5; ++i) (void)q.pop();
+  for (int i = 0; i < 3; ++i) q.push(ev_at(ns(50 + i), seq++));
+  EXPECT_EQ(q.max_depth(), 10u);  // the first wave's peak
+}
+
 // ---------- differential: queue level ----------
 
 /// Drives a heap and a calendar through the identical operation stream and

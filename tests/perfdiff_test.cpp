@@ -588,6 +588,60 @@ TEST(PerfdiffQuantiles, HasMetricDistinguishesAbsentFromZero) {
   EXPECT_FALSE(without.has_metric("runtime/*_ps:p99"));
 }
 
+// ---------- schema-4 host-time fields (report-only watches) ----------
+
+BenchRecord host_time_fixture(double scale) {
+  BenchRecord r = fixture(1000000, 40);
+  r.schema = 4;
+  r.metrics.emplace_back("prof/push_ns", 1.0e6 * scale);
+  r.metrics.emplace_back("prof/pop_ns", 2.0e6 * scale);
+  r.metrics.emplace_back("prof/handle_ns", 4.0e6 * scale);
+  r.metrics.emplace_back("prof/total_ns", 9.0e6 * scale);
+  return r;
+}
+
+TEST(PerfdiffHostTime, ReportOnlyFieldsEchoButNeverRegress) {
+  // Host wall-clock attribution tracks the machine, not the code under
+  // test: a 10x swing must be echoed as an [info] line, never counted as a
+  // regression at any tolerance.
+  const std::vector<BenchRecord> base{host_time_fixture(1.0)};
+  const std::vector<BenchRecord> cand{host_time_fixture(10.0)};
+  const PerfdiffResult res = harness::perfdiff_compare(base, cand);
+  EXPECT_TRUE(res.ok()) << res.report;
+  EXPECT_EQ(res.regressions, 0);
+  EXPECT_NE(res.report.find("[info]"), std::string::npos);
+  EXPECT_NE(res.report.find("host_pop_ns"), std::string::npos);
+  EXPECT_NE(res.report.find("report-only"), std::string::npos);
+  // Shrinkage is equally informational in the other direction.
+  const PerfdiffResult rev = harness::perfdiff_compare(cand, base);
+  EXPECT_TRUE(rev.ok()) << rev.report;
+}
+
+TEST(PerfdiffHostTime, MissingHostFieldsOnOldRecordsAreSkippedNotFailed) {
+  // A schema-3 baseline carries no prof/* gauges. Against a schema-4
+  // candidate that does, the require_both gate must disengage in both
+  // directions — no [info] noise, no was-zero misread.
+  std::vector<BenchRecord> old_base{fixture(1000000, 40)};
+  old_base[0].schema = 3;
+  const std::vector<BenchRecord> cand{host_time_fixture(1.0)};
+  const PerfdiffResult res = harness::perfdiff_compare(old_base, cand);
+  EXPECT_TRUE(res.ok()) << res.report;
+  EXPECT_EQ(res.compared, 1);
+  EXPECT_EQ(res.report.find("host_pop_ns"), std::string::npos);
+  const PerfdiffResult rev = harness::perfdiff_compare(cand, old_base);
+  EXPECT_TRUE(rev.ok()) << rev.report;
+  EXPECT_EQ(rev.report.find("host_pop_ns"), std::string::npos);
+}
+
+TEST(PerfdiffHostTime, QuietSuppressesInfoLines) {
+  PerfdiffOptions opts;
+  opts.quiet = true;
+  const PerfdiffResult res = harness::perfdiff_compare(
+      {host_time_fixture(1.0)}, {host_time_fixture(10.0)}, opts);
+  EXPECT_TRUE(res.ok()) << res.report;
+  EXPECT_EQ(res.report.find("[info]"), std::string::npos);
+}
+
 TEST(PerfdiffTimelines, AxisMismatchDetected) {
   const BenchRecord base = timeline_fixture({0, 1, 2, 3}, {4, 4, 4, 4});
   BenchRecord cand = base;

@@ -290,11 +290,11 @@ TEST(MetricsReportJson, MatchesBenchSchema) {
   const Snapshot snap = reg.snapshot();
   EXPECT_EQ(harness::metrics_report_json("table2", "c-ray", "nexus#", 32,
                                          1234, 1.5, &snap),
-            "{\"schema\":3,\"bench\":\"table2\",\"workload\":\"c-ray\","
+            "{\"schema\":4,\"bench\":\"table2\",\"workload\":\"c-ray\","
             "\"manager\":\"nexus#\",\"cores\":32,\"makespan\":1234,"
             "\"speedup\":1.5,\"metrics\":{\"m\":9}}");
   EXPECT_EQ(harness::metrics_report_json("b", "w", "m", 1, 0, 0.0, nullptr),
-            "{\"schema\":3,\"bench\":\"b\",\"workload\":\"w\",\"manager\":"
+            "{\"schema\":4,\"bench\":\"b\",\"workload\":\"w\",\"manager\":"
             "\"m\",\"cores\":1,\"makespan\":0,\"speedup\":0,\"metrics\":{}}");
 }
 
