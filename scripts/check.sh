@@ -46,7 +46,7 @@ done
 
 BENCH_RECORDS=(BENCH_table2.json BENCH_fig7.json BENCH_fig8.json BENCH_fig9.json
                BENCH_topology.json BENCH_placement.json BENCH_simspeed.json
-               BENCH_serving.json)
+               BENCH_serving.json BENCH_tenancy.json)
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 CTEST_ARGS=(--output-on-failure --no-tests=error -j "${JOBS}")
@@ -108,6 +108,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/ablation_placement" --quick
   smoke "${B}/ablation_pool_window" --quick
   smoke "${B}/ablation_serving" --quick
+  smoke "${B}/ablation_tenancy" --quick
   smoke "${B}/ablation_topology" --quick
   smoke "${B}/multiapp" --quick
   smoke "${B}/power_energy"
@@ -122,6 +123,7 @@ if [[ "${BENCH}" -eq 1 ]]; then
   smoke "${B}/ablation_placement" --quick --json BENCH_placement.json --timeline
   smoke "${B}/simspeed" --prof --json BENCH_simspeed.json
   smoke "${B}/ablation_serving" --quick --json BENCH_serving.json
+  smoke "${B}/ablation_tenancy" --quick --json BENCH_tenancy.json
   echo "==> wrote ${BENCH_RECORDS[*]}"
 
   if [[ "${DIFF}" -eq 1 ]]; then

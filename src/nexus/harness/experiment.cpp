@@ -98,6 +98,21 @@ std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base) 
   return mgr + "+host-" + host;
 }
 
+std::unique_ptr<TaskManagerModel> make_manager(const ManagerSpec& spec) {
+  switch (spec.kind) {
+    case ManagerSpec::Kind::kIdeal:
+      return std::make_unique<IdealManager>();
+    case ManagerSpec::Kind::kNanos:
+      return std::make_unique<NanosModel>(spec.nanos);
+    case ManagerSpec::Kind::kNexusPP:
+      return std::make_unique<NexusPP>(spec.npp);
+    case ManagerSpec::Kind::kNexusSharp:
+      return std::make_unique<NexusSharp>(spec.sharp, spec.arbiter_policy);
+  }
+  NEXUS_ASSERT_MSG(false, "unknown manager kind");
+  return nullptr;
+}
+
 Tick run_once(const Trace& trace, const ManagerSpec& spec, std::uint32_t cores,
               const RuntimeConfig& base) {
   // The fast list scheduler computes the identical makespan (tested against
@@ -143,28 +158,8 @@ RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
   rep.topology = topology_label(spec, base);
   rep.placement = placement_label(spec, base);
   telemetry::ProfScope prof_scope(rc.profiler, run_node);
-  switch (spec.kind) {
-    case ManagerSpec::Kind::kIdeal: {
-      IdealManager mgr;
-      rep.result = run_trace(trace, mgr, rc);
-      break;
-    }
-    case ManagerSpec::Kind::kNanos: {
-      NanosModel mgr(spec.nanos);
-      rep.result = run_trace(trace, mgr, rc);
-      break;
-    }
-    case ManagerSpec::Kind::kNexusPP: {
-      NexusPP mgr(spec.npp);
-      rep.result = run_trace(trace, mgr, rc);
-      break;
-    }
-    case ManagerSpec::Kind::kNexusSharp: {
-      NexusSharp mgr(spec.sharp, spec.arbiter_policy);
-      rep.result = run_trace(trace, mgr, rc);
-      break;
-    }
-  }
+  const std::unique_ptr<TaskManagerModel> mgr = make_manager(spec);
+  rep.result = run_trace(trace, *mgr, rc);
   if (rc.metrics != nullptr)
     rep.metrics = std::make_shared<telemetry::Snapshot>(reg.snapshot());
   if (rec != nullptr)

@@ -105,6 +105,11 @@ std::string placement_label(const ManagerSpec& spec, const RuntimeConfig& base);
 /// makes the run record into the caller's registry instead of a fresh local
 /// one — the serving harness uses this to preset context gauges (offered
 /// rate, knee) that land in the same snapshot as the run's metrics.
+/// Build a fresh manager instance for `spec` (the factory run_once_report
+/// uses internally). For harnesses that need to own the manager across a
+/// run — e.g. to read back its stats or drive several masters against it.
+std::unique_ptr<TaskManagerModel> make_manager(const ManagerSpec& spec);
+
 RunReport run_once_report(const Trace& trace, const ManagerSpec& spec,
                           std::uint32_t cores, const RuntimeConfig& base = {},
                           bool collect_metrics = true,

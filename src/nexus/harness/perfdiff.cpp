@@ -229,6 +229,13 @@ std::vector<WatchedRate> default_watched_rates() {
       // Saturation-knee throughput (serving rows only): shrinking the
       // sustainable rate is the regression.
       {"knee_throughput", "serving/knee_hz", true, 10.0, false, true},
+      // Multi-tenant fairness verdicts (tenancy rows only). The Jain index
+      // shrinking or the max/min slowdown ratio growing is an isolation
+      // regression even when no makespan moved. Absolute fixed-point
+      // gauges, so per_task=false; require_both so non-tenancy rows skip.
+      {"fairness_jain", "fairness/jain_x1e6", true, 5.0, false, true},
+      {"fairness_slowdown_ratio", "fairness/slowdown_ratio_x1e3", false, 10.0,
+       false, true},
       // Schema-4 host-time attribution (simspeed --prof rows): where the
       // simulator's own wall clock went. Report-only — host time moves with
       // the machine, the load, and the thermal du jour, so no tolerance is

@@ -1,6 +1,7 @@
 #include "nexus/harness/serving.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "nexus/common/assert.hpp"
 #include "nexus/telemetry/registry.hpp"
@@ -56,6 +57,15 @@ ServingPoint run_serving(const workloads::ArrivalConfig& cfg, double rate_hz,
   return p;
 }
 
+const char* to_string(KneeOutcome o) {
+  switch (o) {
+    case KneeOutcome::kUnattainable: return "unattainable";
+    case KneeOutcome::kLowerBound: return "lower-bound";
+    case KneeOutcome::kBracketed: return "bracketed";
+  }
+  return "?";
+}
+
 KneeResult find_knee(const workloads::ArrivalConfig& cfg,
                      const KneeSearch& search, const ManagerSpec& spec,
                      std::uint32_t cores, const RuntimeConfig& base) {
@@ -76,27 +86,50 @@ KneeResult find_knee(const workloads::ArrivalConfig& cfg,
   };
 
   double lo = search.lo_hz;
-  if (!probe(lo)) return r;  // budget unattainable even unloaded
+  {
+    // lo_hz must pass before any of knee_hz means anything: an unloaded
+    // system already violating the budget is an unattainable-budget
+    // misconfiguration, not a zero-rate knee. Keep the violating point so
+    // callers can report how far off the budget was.
+    ServingPoint first = run_serving(cfg, lo, spec, cores, base);
+    ++r.probes;
+    if (first.p99_ps > budget) {
+      r.outcome = KneeOutcome::kUnattainable;
+      r.knee = std::move(first);
+      return r;
+    }
+    r.knee_hz = lo;
+    r.knee = std::move(first);
+  }
 
   double hi = search.hi_hz;
   if (hi <= lo) {
-    // Exponential bracket expansion: double until the budget breaks.
+    // Exponential bracket expansion: double until the budget breaks. Stop
+    // honestly (lower bound, not a bracket) if doubling would overflow.
     hi = lo;
     bool found_fail = false;
     for (std::uint32_t i = 0; i < search.max_doublings; ++i) {
-      hi *= 2.0;
+      const double next = hi * 2.0;
+      if (!std::isfinite(next)) break;
+      hi = next;
       if (!probe(hi)) {
         found_fail = true;
         break;
       }
       lo = hi;
     }
-    if (!found_fail) return r;  // knee_hz is a lower bound only
+    if (!found_fail) {
+      r.outcome = KneeOutcome::kLowerBound;
+      return r;  // knee_hz is a lower bound only
+    }
   } else if (probe(hi)) {
-    return r;  // caller's bracket top still passes: same lower-bound case
+    // Caller's bracket top still passes: same lower-bound case.
+    r.outcome = KneeOutcome::kLowerBound;
+    return r;
   }
 
   // Geometric bisection: rates span decades, so split in log space.
+  r.outcome = KneeOutcome::kBracketed;
   r.bracketed = true;
   for (std::uint32_t i = 0; i < search.bisect_iters; ++i) {
     const double mid = std::sqrt(lo * hi);

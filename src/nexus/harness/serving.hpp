@@ -63,12 +63,29 @@ struct KneeSearch {
   std::uint32_t max_doublings = 24;  ///< bracket expansion cap
 };
 
+/// How the search ended — callers must not quote knee_hz as "the knee"
+/// unless the bracket is honest (kBracketed).
+enum class KneeOutcome : std::uint8_t {
+  /// lo_hz itself violates the budget: the budget, not the rate, is the
+  /// bottleneck. knee_hz is 0 and `knee` holds the violating lo_hz point
+  /// for diagnosis.
+  kUnattainable = 0,
+  /// No failing rate was found below the doubling cap (or the doubling
+  /// overflowed, or the caller's hi_hz still passed): knee_hz is only a
+  /// lower bound on the true knee.
+  kLowerBound = 1,
+  /// A failing rate bracketed the knee and bisection refined it.
+  kBracketed = 2,
+};
+
+const char* to_string(KneeOutcome o);
+
 struct KneeResult {
-  double knee_hz = 0.0;  ///< highest passing rate found
-  ServingPoint knee;     ///< the measured point at knee_hz
+  double knee_hz = 0.0;  ///< highest passing rate found (0 if unattainable)
+  ServingPoint knee;     ///< measured at knee_hz (at lo_hz if unattainable)
   std::uint32_t probes = 0;
-  /// False when no failing rate was found below the doubling cap (the knee
-  /// is a lower bound, not a bracketed estimate) or lo_hz itself failed.
+  KneeOutcome outcome = KneeOutcome::kUnattainable;
+  /// Convenience mirror of `outcome == kBracketed`.
   bool bracketed = false;
 };
 

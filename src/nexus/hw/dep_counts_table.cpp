@@ -8,10 +8,11 @@
 namespace nexus::hw {
 
 void DepCountsTable::set(TaskId id, std::uint32_t count,
-                         telemetry::TraceTick at) {
+                         telemetry::TraceTick at, std::uint16_t tenant) {
   NEXUS_ASSERT(count >= 1);
-  const bool fresh = counts_.emplace(id, count).second;
+  const bool fresh = counts_.emplace(id, Parked{count, tenant}).second;
   NEXUS_ASSERT_MSG(fresh, "dep count already present");
+  if (tenants_.enabled()) tenants_.add(tenant);
   peak_ = std::max<std::uint64_t>(peak_, counts_.size());
   telemetry::inc(m_parked_);
   telemetry::record(m_occupancy_, counts_.size());
@@ -22,9 +23,10 @@ void DepCountsTable::set(TaskId id, std::uint32_t count,
 bool DepCountsTable::decrement(TaskId id, telemetry::TraceTick at) {
   const auto it = counts_.find(id);
   NEXUS_ASSERT_MSG(it != counts_.end(), "decrement of unknown task");
-  NEXUS_ASSERT(it->second > 0);
+  NEXUS_ASSERT(it->second.count > 0);
   telemetry::inc(m_hits_);
-  if (--it->second == 0) {
+  if (--it->second.count == 0) {
+    if (tenants_.enabled()) tenants_.sub(it->second.tenant);
     counts_.erase(it);
     telemetry::inc(m_released_);
     if (trace_ != nullptr)

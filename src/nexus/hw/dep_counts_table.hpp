@@ -10,6 +10,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "nexus/hw/tenancy.hpp"
 #include "nexus/task/task.hpp"
 #include "nexus/telemetry/fwd.hpp"
 
@@ -19,7 +20,9 @@ class DepCountsTable {
  public:
   /// Park a task with `count` outstanding dependences (count >= 1). `at`
   /// stamps the trace occupancy sample; irrelevant without a recorder.
-  void set(TaskId id, std::uint32_t count, telemetry::TraceTick at = 0);
+  /// `tenant` attributes the entry when tenancy accounting is configured.
+  void set(TaskId id, std::uint32_t count, telemetry::TraceTick at = 0,
+           std::uint16_t tenant = 0);
 
   /// Satisfy one dependence; returns true when the task became ready (its
   /// entry is then removed).
@@ -29,6 +32,10 @@ class DepCountsTable {
   [[nodiscard]] std::size_t size() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
 
+  /// Enable per-tenant occupancy accounting (tenancy quotas).
+  void configure_tenancy(std::uint32_t tenants) { tenants_.configure(tenants); }
+  [[nodiscard]] const TenantLedger& tenant_ledger() const { return tenants_; }
+
   /// Register park/hit metrics under `prefix` (cold path; call before a run).
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
@@ -37,7 +44,12 @@ class DepCountsTable {
   void bind_trace(telemetry::TraceRecorder* trace, std::string_view track);
 
  private:
-  std::unordered_map<TaskId, std::uint32_t> counts_;
+  struct Parked {
+    std::uint32_t count = 0;
+    std::uint16_t tenant = 0;
+  };
+  std::unordered_map<TaskId, Parked> counts_;
+  TenantLedger tenants_;
   std::uint64_t peak_ = 0;
   telemetry::TraceRecorder* trace_ = nullptr;
   std::string track_;

@@ -28,7 +28,8 @@ TaskGraphTable::Entry* TaskGraphTable::find(Addr addr) {
   return nullptr;
 }
 
-TaskGraphTable::Entry* TaskGraphTable::allocate(Addr addr) {
+TaskGraphTable::Entry* TaskGraphTable::allocate(Addr addr,
+                                                std::uint16_t tenant) {
   const std::uint32_t base = set_of(addr) * cfg_.ways;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
     Entry& e = slots_[base + w];
@@ -36,6 +37,8 @@ TaskGraphTable::Entry* TaskGraphTable::allocate(Addr addr) {
       e = Entry{};
       e.valid = true;
       e.addr = addr;
+      e.tenant = tenant;
+      if (tenants_.enabled()) tenants_.add(tenant);
       ++used_slots_;
       peak_used_ = std::max<std::uint64_t>(peak_used_, used_slots_);
       return &e;
@@ -57,6 +60,8 @@ bool TaskGraphTable::grow_chain(Entry& e, Addr addr) {
         c.valid = true;
         c.is_chain = true;
         c.addr = addr;
+        c.tenant = e.tenant;
+        if (tenants_.enabled()) tenants_.add(e.tenant);
         ++used_slots_;
         peak_used_ = std::max<std::uint64_t>(peak_used_, used_slots_);
         e.chain_idx.push_back(base + w);
@@ -77,6 +82,7 @@ void TaskGraphTable::shrink_chain(Entry& e) {
     Entry& c = slots_[e.chain_idx.back()];
     NEXUS_DCHECK(c.valid && c.is_chain);
     c.valid = false;
+    if (tenants_.enabled()) tenants_.sub(c.tenant);
     NEXUS_ASSERT(used_slots_ > 0);
     --used_slots_;
     e.chain_idx.pop_back();
@@ -88,15 +94,17 @@ void TaskGraphTable::release_entry(Entry& e) {
   shrink_chain(e);
   NEXUS_DCHECK(e.chain_idx.empty());
   e.valid = false;
+  if (tenants_.enabled()) tenants_.sub(e.tenant);
   NEXUS_ASSERT(used_slots_ > 0);
   --used_slots_;
 }
 
 TaskGraphTable::InsertResult TaskGraphTable::insert(Addr addr, TaskId task,
-                                                    bool is_writer) {
+                                                    bool is_writer,
+                                                    std::uint16_t tenant) {
   Entry* e = find(addr);
   if (e == nullptr) {
-    e = allocate(addr);
+    e = allocate(addr, tenant);
     if (e == nullptr) {
       ++stalls_;
       telemetry::inc(m_stalls_);

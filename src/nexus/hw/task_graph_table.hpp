@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "nexus/hw/tenancy.hpp"
 #include "nexus/task/task.hpp"
 #include "nexus/telemetry/fwd.hpp"
 
@@ -55,8 +56,11 @@ class TaskGraphTable {
     std::uint32_t chain_hops = 0;  ///< dummy entries traversed/allocated
   };
 
-  /// Record an access by `task` to `addr`.
-  InsertResult insert(Addr addr, TaskId task, bool is_writer);
+  /// Record an access by `task` to `addr`. `tenant` attributes any slots the
+  /// access allocates when tenancy accounting is configured; tenant address
+  /// windows are disjoint, so every entry belongs to exactly one tenant.
+  InsertResult insert(Addr addr, TaskId task, bool is_writer,
+                      std::uint16_t tenant = 0);
 
   struct FinishResult {
     std::uint32_t chain_hops = 0;
@@ -77,6 +81,10 @@ class TaskGraphTable {
   [[nodiscard]] std::uint64_t total_stalls() const { return stalls_; }
   [[nodiscard]] std::uint64_t peak_used() const { return peak_used_; }
 
+  /// Enable per-tenant slot accounting (tenancy quotas).
+  void configure_tenancy(std::uint32_t tenants) { tenants_.configure(tenants); }
+  [[nodiscard]] const TenantLedger& tenant_ledger() const { return tenants_; }
+
   /// Register fill/stall/chain metrics under `prefix` (cold path).
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
 
@@ -86,6 +94,7 @@ class TaskGraphTable {
     bool valid = false;
     bool is_chain = false;         ///< dummy/extension slot
     bool cur_is_writer = false;
+    std::uint16_t tenant = 0;  ///< owner of this slot (tenancy accounting)
     std::uint32_t cur_unfinished = 0;
     std::deque<Waiter> kol;                ///< logical kick-off list (FIFO)
     std::vector<std::uint32_t> chain_idx;  ///< slots of dummy entries backing kol
@@ -93,7 +102,7 @@ class TaskGraphTable {
 
   [[nodiscard]] std::uint32_t set_of(Addr addr) const;
   Entry* find(Addr addr);
-  Entry* allocate(Addr addr);
+  Entry* allocate(Addr addr, std::uint16_t tenant);
   /// Allocate/free physical dummy slots to cover a kick-off list of `len`.
   bool grow_chain(Entry& e, Addr addr);
   void shrink_chain(Entry& e);
@@ -101,6 +110,7 @@ class TaskGraphTable {
 
   TableConfig cfg_;
   std::vector<Entry> slots_;  ///< sets*ways, row-major by set
+  TenantLedger tenants_;
   std::uint32_t used_slots_ = 0;
   std::uint64_t stalls_ = 0;
   std::uint64_t peak_used_ = 0;

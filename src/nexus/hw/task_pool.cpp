@@ -11,6 +11,7 @@ void TaskPool::insert(const TaskDescriptor& t, telemetry::TraceTick at) {
   NEXUS_ASSERT_MSG(!full(), "task pool overflow");
   const bool fresh = slots_.emplace(t.id, t).second;
   NEXUS_ASSERT_MSG(fresh, "task already pooled");
+  if (tenants_.enabled()) tenants_.add(t.tenant);
   peak_ = std::max<std::uint64_t>(peak_, slots_.size());
   telemetry::inc(m_inserts_);
   telemetry::record(m_occupancy_, slots_.size());
@@ -26,6 +27,11 @@ const TaskDescriptor& TaskPool::get(TaskId id) const {
 }
 
 void TaskPool::erase(TaskId id, telemetry::TraceTick at) {
+  if (tenants_.enabled()) {
+    const auto it = slots_.find(id);
+    NEXUS_ASSERT_MSG(it != slots_.end(), "erase of task not in pool");
+    tenants_.sub(it->second.tenant);
+  }
   const auto n = slots_.erase(id);
   NEXUS_ASSERT_MSG(n == 1, "erase of task not in pool");
   telemetry::inc(m_retired_);

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "nexus/hw/tenancy.hpp"
 #include "nexus/task/task.hpp"
 #include "nexus/telemetry/fwd.hpp"
 
@@ -37,6 +38,13 @@ class TaskPool {
 
   void erase(TaskId id, telemetry::TraceTick at = 0);
 
+  /// Enable per-tenant occupancy accounting (tenancy quotas). Descriptors
+  /// are attributed to TaskDescriptor::tenant at insert/erase. Never called
+  /// for single-tenant runs: the ledger stays disabled and free.
+  void configure_tenancy(std::uint32_t tenants) { tenants_.configure(tenants); }
+  [[nodiscard]] const TenantLedger& tenant_ledger() const { return tenants_; }
+  [[nodiscard]] TenantLedger& tenant_ledger() { return tenants_; }
+
   /// Register occupancy/lifecycle metrics under `prefix` (cold path; call
   /// once before a run). Without this call the pool records nothing.
   void bind_telemetry(telemetry::MetricRegistry& reg, std::string_view prefix);
@@ -48,6 +56,7 @@ class TaskPool {
  private:
   std::size_t capacity_;
   std::unordered_map<TaskId, TaskDescriptor> slots_;
+  TenantLedger tenants_;
   std::uint64_t peak_ = 0;
   telemetry::TraceRecorder* trace_ = nullptr;
   std::string track_;

@@ -19,10 +19,16 @@ const char* to_string(ArbiterPolicy p) {
 namespace detail {
 
 SharpArbiter::SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy,
-                           noc::Network* net)
-    : cfg_(cfg), policy_(policy), net_(net), clk_(cfg.freq_mhz),
-      dep_q_(cfg.num_task_graphs) {
+                           noc::Network* net, std::int64_t self_node,
+                           std::int64_t dst_node)
+    : cfg_(cfg), policy_(policy), net_(net),
+      self_node_(self_node < 0 ? sharp_arbiter_node(cfg.num_task_graphs)
+                               : static_cast<noc::NodeId>(self_node)),
+      dst_node_(dst_node < 0 ? sharp_io_node()
+                             : static_cast<noc::NodeId>(dst_node)),
+      clk_(cfg.freq_mhz), dep_q_(cfg.num_task_graphs) {
   NEXUS_ASSERT(net != nullptr);
+  if (cfg.tenancy.enabled()) depcounts_.configure_tenancy(cfg.tenancy.tenants);
 }
 
 bool SharpArbiter::dep_pending() const {
@@ -89,9 +95,10 @@ void SharpArbiter::handle(Simulation& sim, const Event& ev) {
       break;
     case kMeta: {
       const auto id = static_cast<TaskId>(ev.a & 0xFFFFFFFF);
-      const auto nparams = static_cast<std::uint32_t>(ev.a >> 32);
+      const auto nparams = static_cast<std::uint32_t>((ev.a >> 32) & 0xFFFF);
       SimTask& st = sim_tasks_[id];
       st.nparams = nparams;
+      st.tenant = static_cast<std::uint16_t>(ev.a >> 48);
       st.meta_arrived = true;
       peak_sim_tasks_ = std::max<std::uint64_t>(peak_sim_tasks_, sim_tasks_.size());
       if (st.ready_parked) {
@@ -239,11 +246,12 @@ void SharpArbiter::conclude_if_complete(Simulation& sim, TaskId id, SimTask& st,
   NEXUS_ASSERT_MSG(st.seen == st.nparams, "gathered more records than params");
   NEXUS_ASSERT_MSG(st.pending_dec <= st.total, "kick without a queued param");
   const std::uint32_t remaining = st.total - st.pending_dec;
-  sim_tasks_.erase(id);
+  const std::uint16_t tenant = st.tenant;
+  sim_tasks_.erase(id);  // invalidates st
   if (remaining == 0) {
     to_writeback(sim, at, id);
   } else {
-    depcounts_.set(id, remaining, at);
+    depcounts_.set(id, remaining, at, tenant);
   }
 }
 
@@ -260,10 +268,11 @@ void SharpArbiter::to_writeback(Simulation& sim, Tick from, TaskId id) {
     sim.schedule(done, self_, kWbDone, id);
   } else {
     // On a real topology the ready record crosses the interconnect from
-    // the arbiter tile back to the Nexus IO tile: ready id + function
-    // pointer, one parameter-sized payload.
-    net_->send(sim, done, sharp_arbiter_node(cfg_.num_task_graphs),
-               sharp_io_node(), self_, kWbDone, id, 0, noc::kParamBytes);
+    // this arbiter's tile back to its consumer (IO tile in flat mode, the
+    // root arbiter in clustered mode): ready id + function pointer, one
+    // parameter-sized payload.
+    net_->send(sim, done, self_node_, dst_node_, self_, kWbDone, id, 0,
+               noc::kParamBytes);
   }
 }
 

@@ -33,8 +33,16 @@ namespace nexus::detail {
 
 class SharpArbiter final : public Component {
  public:
+  /// `self_node`/`dst_node` place the arbiter on the on-manager NoC and
+  /// pick where its write-back records go. The defaults (-1) are the flat
+  /// single-arbiter placement: arbiter tile -> IO tile. Clustered mode
+  /// reuses this class as a *leaf* arbiter — self is the cluster's leaf
+  /// tile and records go to the root arbiter tile instead; the attached
+  /// RuntimeHost is then a relay that converts task_ready into a
+  /// cluster-ready report.
   SharpArbiter(const NexusSharpConfig& cfg, ArbiterPolicy policy,
-               noc::Network* net);
+               noc::Network* net, std::int64_t self_node = -1,
+               std::int64_t dst_node = -1);
 
   void attach(Simulation& sim, RuntimeHost* host);
 
@@ -47,7 +55,9 @@ class SharpArbiter final : public Component {
     kReady = 0,  ///< a = task: single-param immediately-ready record
     kWait = 1,   ///< a = task: one kicked waiter (one dependence satisfied)
     kDep = 2,    ///< a = task | contributes<<32, b = source task graph
-    kMeta = 3,   ///< a = task | nparams<<32: Task Pool descriptor committed.
+    kMeta = 3,   ///< a = task | nparams<<32 | tenant<<48: Task Pool
+                 ///  descriptor committed (nparams is 16 bits; the tenant
+                 ///  field is 0 outside multi-tenant runs).
                  ///  May arrive after the task's kReady when the descriptor
                  ///  crosses a non-ideal NoC; the ready record then parks in
                  ///  the Sim Tasks buffer until the descriptor lands.
@@ -73,6 +83,7 @@ class SharpArbiter final : public Component {
   [[nodiscard]] std::uint64_t ready_delivered() const { return delivered_; }
   [[nodiscard]] Tick busy_time() const { return busy_; }
   [[nodiscard]] const hw::DepCountsTable& dep_counts() const { return depcounts_; }
+  [[nodiscard]] hw::DepCountsTable& dep_counts() { return depcounts_; }
   [[nodiscard]] std::uint64_t peak_sim_tasks() const { return peak_sim_tasks_; }
   /// Tasks still gathering records; must be 0 once a run drains.
   [[nodiscard]] std::size_t sim_tasks_live() const { return sim_tasks_.size(); }
@@ -85,6 +96,7 @@ class SharpArbiter final : public Component {
     std::uint32_t seen = 0;         ///< dep-count records gathered
     std::uint32_t total = 0;        ///< blocked-parameter tally
     std::uint32_t pending_dec = 0;  ///< kicks that raced ahead of gathering
+    std::uint16_t tenant = 0;       ///< from kMeta; attributes parked entries
     bool meta_arrived = false;      ///< kMeta descriptor landed
     bool ready_parked = false;      ///< kReady overtook kMeta; release on meta
   };
@@ -96,7 +108,9 @@ class SharpArbiter final : public Component {
 
   const NexusSharpConfig& cfg_;
   ArbiterPolicy policy_;
-  noc::Network* net_;  ///< write-back returns arbiter-node -> IO node
+  noc::Network* net_;  ///< write-back returns self_node_ -> dst_node_
+  noc::NodeId self_node_ = 0;
+  noc::NodeId dst_node_ = 0;
   ClockDomain clk_;
   RuntimeHost* host_ = nullptr;
   std::uint32_t self_ = 0;

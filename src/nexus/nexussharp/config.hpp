@@ -6,6 +6,7 @@
 
 #include "nexus/hw/distribution.hpp"
 #include "nexus/hw/task_graph_table.hpp"
+#include "nexus/hw/tenancy.hpp"
 #include "nexus/noc/topology.hpp"
 #include "nexus/telemetry/fwd.hpp"
 
@@ -18,6 +19,20 @@ struct NexusSharpConfig {
   /// In-flight task window; see NexusPPConfig::pool_capacity.
   std::size_t pool_capacity = 1024;
   hw::DistributionPolicy distribution = hw::DistributionPolicy::kXorFold;
+
+  /// Shard the task graphs into this many clusters, each with its own leaf
+  /// Dependence Counts Arbiter, under a root arbiter that merges per-cluster
+  /// readiness and write-backs (Section VI's scaling direction). 0 or 1 keeps
+  /// the flat single-arbiter pipeline, bit-identical to the pre-cluster
+  /// model. Must divide num_task_graphs; task graph i belongs to cluster
+  /// i / (num_task_graphs / clusters) (contiguous shards).
+  std::uint32_t arbiter_clusters = 0;
+
+  /// Multi-tenant admission control and QoS (see hw/tenancy.hpp). Disabled
+  /// by default; when enabled, per-tenant quotas NACK over-quota tenants at
+  /// the IO tile and the root arbiter serves ready tasks per-tenant
+  /// weighted-round-robin instead of strictly FIFO.
+  hw::TenancyConfig tenancy{};
 
   /// On-manager interconnect carrying the distributed traffic: Input Parser
   /// -> New/Finished Args, IO -> arbiter kMeta descriptors (non-ideal only;
@@ -49,6 +64,9 @@ struct NexusSharpConfig {
   std::int64_t arb_wait_cycles = 2;    ///< waiting-task decrement
   std::int64_t arb_dep_cycles = 2;     ///< dep-count gather per record
   std::int64_t writeback_cycles = 3;   ///< WB: ready id + fn ptr to Nexus IO
+  /// Root arbiter (clustered mode only): cycles to merge one cluster-ready
+  /// report and grant a ready task from the per-tenant queues.
+  std::int64_t root_grant_cycles = 1;
 
   // --- finished-task path ---
   std::int64_t finish_receive = 2;        ///< notification over the IO unit
@@ -81,6 +99,20 @@ constexpr noc::NodeId sharp_arbiter_node(std::uint32_t num_tgs) {
 }
 constexpr std::uint32_t sharp_noc_endpoints(std::uint32_t num_tgs) {
   return num_tgs + 2;
+}
+
+/// Clustered placement (arbiter_clusters >= 2): IO at 0, task graphs at
+/// 1+i, leaf arbiter of cluster c at 1+num_tgs+c, the root arbiter last.
+constexpr noc::NodeId sharp_leaf_node(std::uint32_t num_tgs, std::uint32_t c) {
+  return 1 + num_tgs + c;
+}
+constexpr noc::NodeId sharp_root_node(std::uint32_t num_tgs,
+                                      std::uint32_t clusters) {
+  return 1 + num_tgs + clusters;
+}
+constexpr std::uint32_t sharp_noc_endpoints(std::uint32_t num_tgs,
+                                            std::uint32_t clusters) {
+  return clusters >= 2 ? num_tgs + clusters + 2 : sharp_noc_endpoints(num_tgs);
 }
 
 }  // namespace nexus

@@ -17,15 +17,42 @@ NexusSharp::NexusSharp(const NexusSharpConfig& cfg, ArbiterPolicy arbiter_policy
   NEXUS_ASSERT_MSG(distributor_.preserves_affinity(),
                    "dependency tracking requires an affinity-preserving "
                    "distribution function (Section IV-A)");
+  const std::uint32_t clusters = cfg.arbiter_clusters;
+  const bool clustered = clusters >= 2;
+  if (clustered) {
+    NEXUS_ASSERT_MSG(cfg.num_task_graphs % clusters == 0,
+                     "arbiter_clusters must divide num_task_graphs");
+    tgs_per_cluster_ = cfg.num_task_graphs / clusters;
+  } else {
+    tgs_per_cluster_ = cfg.num_task_graphs;
+  }
+  if (cfg_.tenancy.enabled()) pool_.configure_tenancy(cfg_.tenancy.tenants);
+
   net_ = std::make_unique<noc::Network>(
-      cfg_.noc, sharp_noc_endpoints(cfg.num_task_graphs), cfg.freq_mhz,
-      clk_.cycles(cfg.fifo_latency));
-  arbiter_ =
-      std::make_unique<detail::SharpArbiter>(cfg_, arbiter_policy, net_.get());
-  for (std::uint32_t i = 0; i < cfg.num_task_graphs; ++i)
-    tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(cfg_, i,
-                                                           arbiter_.get(),
-                                                           net_.get()));
+      cfg_.noc, sharp_noc_endpoints(cfg.num_task_graphs, clusters),
+      cfg.freq_mhz, clk_.cycles(cfg.fifo_latency));
+  if (clustered) {
+    root_ = std::make_unique<detail::RootArbiter>(cfg_, net_.get());
+    cluster_params_.resize(clusters);
+    for (std::uint32_t c = 0; c < clusters; ++c)
+      arbiters_.push_back(std::make_unique<detail::SharpArbiter>(
+          cfg_, arbiter_policy, net_.get(),
+          sharp_leaf_node(cfg.num_task_graphs, c),
+          sharp_root_node(cfg.num_task_graphs, clusters)));
+  } else {
+    // Flat single-arbiter pipeline: the legacy tile placement, bit-identical
+    // to the pre-cluster model.
+    arbiters_.push_back(std::make_unique<detail::SharpArbiter>(
+        cfg_, arbiter_policy, net_.get()));
+  }
+  for (std::uint32_t i = 0; i < cfg.num_task_graphs; ++i) {
+    const std::uint32_t c = cluster_of(i);
+    tgs_.push_back(std::make_unique<detail::TaskGraphUnit>(
+        cfg_, i, arbiters_[clustered ? c : 0].get(), net_.get(),
+        clustered
+            ? static_cast<std::int64_t>(sharp_leaf_node(cfg.num_task_graphs, c))
+            : -1));
+  }
   if (cfg_.trace != nullptr) bind_trace(cfg_.trace);
 }
 
@@ -36,7 +63,8 @@ void NexusSharp::bind_trace(telemetry::TraceRecorder* trace) {
   // spellings (op 0 is kNewArg into a task graph, kReady into the arbiter).
   net_->bind_trace(trace, "nexus#/noc",
                    {"new_arg|ready", "fin_arg|wait", "dep", "meta", "wb"});
-  arbiter_->bind_trace(trace);
+  for (auto& arb : arbiters_) arb->bind_trace(trace);
+  if (root_ != nullptr) root_->bind_trace(trace);
   for (std::uint32_t i = 0; i < cfg_.num_task_graphs; ++i)
     tgs_[i]->bind_trace(trace);
 }
@@ -49,7 +77,18 @@ void NexusSharp::bind_profiler(Simulation& sim) {
 void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
   pool_.bind_telemetry(reg, "nexus#/pool");
   net_->bind_telemetry(reg, "nexus#/noc");
-  arbiter_->bind_telemetry(reg, "nexus#/arbiter");
+  if (clustered()) {
+    for (std::uint32_t c = 0; c < arbiters_.size(); ++c)
+      arbiters_[c]->bind_telemetry(
+          reg, telemetry::path_join(
+                   telemetry::indexed_path(
+                       "nexus#/cluster", c,
+                       static_cast<std::uint32_t>(arbiters_.size())),
+                   "arbiter"));
+    root_->bind_telemetry(reg, "nexus#/root");
+  } else {
+    arbiters_[0]->bind_telemetry(reg, "nexus#/arbiter");
+  }
   m_route_.assign(cfg_.num_task_graphs, nullptr);
   for (std::uint32_t i = 0; i < cfg_.num_task_graphs; ++i) {
     const std::string tg = "nexus#/tg" + std::to_string(i);
@@ -58,13 +97,33 @@ void NexusSharp::bind_telemetry(telemetry::MetricRegistry& reg) {
   }
   m_tasks_in_ = &reg.counter("nexus#/tasks_in");
   m_finishes_ = &reg.counter("nexus#/finishes");
+  if (cfg_.tenancy.enabled()) {
+    pool_.tenant_ledger().bind_telemetry(reg, "nexus#/pool");
+    m_nacks_ = &reg.counter("nexus#/admission/nacks");
+    m_hw_blocks_ = &reg.counter("nexus#/admission/high_water_blocks");
+    m_tenant_nacks_.assign(cfg_.tenancy.tenants, nullptr);
+    for (std::uint32_t t = 0; t < cfg_.tenancy.tenants; ++t)
+      m_tenant_nacks_[t] = &reg.counter(telemetry::path_join(
+          telemetry::path_join("nexus#/admission",
+                               telemetry::indexed_path("tenant", t,
+                                                       cfg_.tenancy.tenants)),
+          "nacks"));
+  }
 }
 
 void NexusSharp::attach(Simulation& sim, RuntimeHost* host) {
   NEXUS_ASSERT(host != nullptr);
   host_ = host;
   self_ = sim.add_component(this);
-  arbiter_->attach(sim, host);
+  if (clustered()) {
+    for (auto& arb : arbiters_) {
+      relays_.push_back(std::make_unique<detail::ClusterRelay>(root_.get()));
+      arb->attach(sim, relays_.back().get());
+    }
+    root_->attach(sim, host);
+  } else {
+    arbiters_[0]->attach(sim, host);
+  }
   for (auto& tg : tgs_) tg->attach(sim);
   // Last, so the block's own components keep their pre-NoC ids/labels.
   net_->attach(sim);
@@ -74,10 +133,49 @@ Tick NexusSharp::taskwait_on_query_cost() const {
   return clk_.cycles(cfg_.taskwait_on_cycles);
 }
 
+bool NexusSharp::over_quota(std::uint16_t tenant) const {
+  const hw::TenantQuota& q = cfg_.tenancy.quota;
+  if (q.pool > 0 && pool_.tenant_ledger().count(tenant) >= q.pool) return true;
+  if (q.table > 0) {
+    std::uint64_t used = 0;
+    for (const auto& tg : tgs_) used += tg->table().tenant_ledger().count(tenant);
+    if (used >= q.table) return true;
+  }
+  if (q.dep > 0) {
+    std::uint64_t parked = 0;
+    for (const auto& arb : arbiters_)
+      parked += arb->dep_counts().tenant_ledger().count(tenant);
+    if (parked >= q.dep) return true;
+  }
+  return false;
+}
+
 Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
   if (pool_.full()) {
     master_blocked_ = true;
     return kSubmitBlocked;
+  }
+  if (cfg_.tenancy.enabled()) {
+    NEXUS_ASSERT_MSG(task.tenant < cfg_.tenancy.tenants,
+                     "task tenant out of range");
+    // Global high-water: shared backpressure for everyone, leaving pool
+    // headroom so quota-compliant tenants are never starved of slots.
+    if (cfg_.tenancy.global_high_water > 0 &&
+        pool_.size() >= cfg_.tenancy.global_high_water) {
+      master_blocked_ = true;
+      telemetry::inc(m_hw_blocks_);
+      return kSubmitBlocked;
+    }
+    if (over_quota(task.tenant)) {
+      // Per-tenant backpressure: only this tenant is held; the structures
+      // still have room for others. The single-stream driver degrades this
+      // to a plain block (manager.hpp, kSubmitNacked).
+      master_blocked_ = true;
+      ++nacks_;
+      telemetry::inc(m_nacks_);
+      if (!m_tenant_nacks_.empty()) telemetry::inc(m_tenant_nacks_[task.tenant]);
+      return kSubmitNacked;
+    }
   }
   ++tasks_in_;
   telemetry::inc(m_tasks_in_);
@@ -96,6 +194,8 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
   // two-packet address transfers; it reaches its task graph's New Args
   // buffer after the FIFO visibility latency.
   const bool single = task.num_params() == 1;
+  if (clustered())
+    cluster_params_.assign(cluster_params_.size(), 0);
   for (std::size_t i = 0; i < task.num_params(); ++i) {
     const Param& p = task.params[i];
     const Tick arrival =
@@ -106,7 +206,9 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
     arg.addr = p.addr;
     arg.is_writer = is_write(p.dir);
     arg.single_param = single;
+    arg.tenant = task.tenant;
     const std::uint32_t tgt = distributor_.target(p.addr);
+    if (clustered()) ++cluster_params_[cluster_of(tgt)];
     if (!m_route_.empty()) m_route_[tgt]->inc();
     net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
                tgs_[tgt]->component_id(), detail::TaskGraphUnit::kNewArg,
@@ -114,24 +216,65 @@ Tick NexusSharp::submit(Simulation& sim, const TaskDescriptor& task) {
   }
 
   // IPf: descriptor committed to the Task Pool one cycle after the last
-  // parameter; the arbiter can conclude the task's gather from then on.
-  const std::uint64_t meta =
-      static_cast<std::uint64_t>(task.id) |
-      (static_cast<std::uint64_t>(task.num_params()) << 32);
-  if (net_->ideal()) {
-    // Legacy behaviour: a direct pool-commit side-band, kept exactly so the
-    // default config stays bit-identical to the pre-NoC model.
-    sim.schedule(recv_done, arbiter_->component_id(),
-                 detail::SharpArbiter::kMeta, meta);
+  // parameter; the arbiter(s) can conclude the task's gather from then on.
+  // The tenant field is 0 outside multi-tenant runs, keeping the packing
+  // bit-identical to the legacy id|nparams encoding.
+  if (!clustered()) {
+    const std::uint64_t meta =
+        static_cast<std::uint64_t>(task.id) |
+        (static_cast<std::uint64_t>(task.num_params() & 0xFFFF) << 32) |
+        (static_cast<std::uint64_t>(task.tenant) << 48);
+    if (net_->ideal()) {
+      // Legacy behaviour: a direct pool-commit side-band, kept exactly so
+      // the default config stays bit-identical to the pre-NoC model.
+      sim.schedule(recv_done, arbiters_[0]->component_id(),
+                   detail::SharpArbiter::kMeta, meta);
+    } else {
+      // On a real topology the descriptor is routed traffic like everything
+      // else: a parameter-list-sized message from the IO tile to the arbiter
+      // tile. It may now arrive after the task's ready record; the arbiter
+      // parks that record until the descriptor lands (meta_parks metric).
+      net_->send(sim, recv_done, sharp_io_node(),
+                 sharp_arbiter_node(cfg_.num_task_graphs),
+                 arbiters_[0]->component_id(), detail::SharpArbiter::kMeta,
+                 meta, 0,
+                 noc::kParamBytes * static_cast<std::uint32_t>(task.num_params()));
+    }
   } else {
-    // On a real topology the descriptor is routed traffic like everything
-    // else: a parameter-list-sized message from the IO tile to the arbiter
-    // tile. It may now arrive after the task's ready record; the arbiter
-    // parks that record until the descriptor lands (meta_parks metric).
-    net_->send(sim, recv_done, sharp_io_node(),
-               sharp_arbiter_node(cfg_.num_task_graphs),
-               arbiter_->component_id(), detail::SharpArbiter::kMeta, meta, 0,
-               noc::kParamBytes * static_cast<std::uint32_t>(task.num_params()));
+    // Clustered: each participating leaf gets a descriptor carrying its
+    // cluster-local parameter count; the root gets the participating-cluster
+    // count so it can AND the leaves' cluster-ready reports.
+    std::uint32_t participating = 0;
+    for (std::uint32_t c = 0; c < cluster_params_.size(); ++c) {
+      if (cluster_params_[c] == 0) continue;
+      ++participating;
+      const std::uint64_t meta =
+          static_cast<std::uint64_t>(task.id) |
+          (static_cast<std::uint64_t>(cluster_params_[c] & 0xFFFF) << 32) |
+          (static_cast<std::uint64_t>(task.tenant) << 48);
+      if (net_->ideal()) {
+        sim.schedule(recv_done, arbiters_[c]->component_id(),
+                     detail::SharpArbiter::kMeta, meta);
+      } else {
+        net_->send(sim, recv_done, sharp_io_node(),
+                   sharp_leaf_node(cfg_.num_task_graphs, c),
+                   arbiters_[c]->component_id(), detail::SharpArbiter::kMeta,
+                   meta, 0, noc::kParamBytes * cluster_params_[c]);
+      }
+    }
+    const std::uint64_t root_meta =
+        static_cast<std::uint64_t>(task.id) |
+        (static_cast<std::uint64_t>(participating) << 32) |
+        (static_cast<std::uint64_t>(task.tenant) << 48);
+    if (net_->ideal()) {
+      sim.schedule(recv_done, root_->component_id(),
+                   detail::RootArbiter::kMeta, root_meta);
+    } else {
+      net_->send(sim, recv_done, sharp_io_node(),
+                 sharp_root_node(cfg_.num_task_graphs, cfg_.arbiter_clusters),
+                 root_->component_id(), detail::RootArbiter::kMeta, root_meta,
+                 0, noc::kParamBytes);
+    }
   }
   return recv_done;
 }
@@ -161,6 +304,7 @@ Tick NexusSharp::notify_finished(Simulation& sim, TaskId id) {
     arg.task = id;
     arg.addr = p.addr;
     arg.is_writer = is_write(p.dir);
+    arg.tenant = task.tenant;
     const std::uint32_t tgt = distributor_.target(p.addr);
     if (!m_route_.empty()) m_route_[tgt]->inc();
     net_->send(sim, arrival, sharp_io_node(), sharp_tg_node(tgt),
@@ -189,11 +333,20 @@ void NexusSharp::handle(Simulation& sim, const Event& ev) {
 NexusSharp::Stats NexusSharp::stats() const {
   Stats s;
   s.tasks_in = tasks_in_;
-  s.ready_out = arbiter_->ready_delivered();
+  s.nacks = nacks_;
   s.pool_peak = pool_.peak();
-  s.sim_tasks_live = arbiter_->sim_tasks_live();
   s.io_busy = io_.busy_time();
-  s.arbiter_busy = arbiter_->busy_time();
+  for (const auto& arb : arbiters_) {
+    s.sim_tasks_live += arb->sim_tasks_live();
+    s.arbiter_busy += arb->busy_time();
+  }
+  if (root_ != nullptr) {
+    s.ready_out = root_->ready_delivered();
+    s.sim_tasks_live += root_->live();
+    s.arbiter_busy += root_->busy_time();
+  } else {
+    s.ready_out = arbiters_[0]->ready_delivered();
+  }
   for (const auto& tg : tgs_) {
     s.table_stalls += tg->table().total_stalls();
     s.tg_busy.push_back(tg->busy_time());

@@ -23,6 +23,7 @@
 #include "nexus/noc/network.hpp"
 #include "nexus/nexussharp/arbiter.hpp"
 #include "nexus/nexussharp/config.hpp"
+#include "nexus/nexussharp/root_arbiter.hpp"
 #include "nexus/nexussharp/task_graph_unit.hpp"
 #include "nexus/runtime/manager.hpp"
 
@@ -59,9 +60,10 @@ class NexusSharp final : public TaskManagerModel, public Component {
     std::uint64_t ready_out = 0;
     std::uint64_t pool_peak = 0;
     std::uint64_t table_stalls = 0;      ///< summed over task graphs
-    std::uint64_t sim_tasks_live = 0;    ///< must be 0 after a drained run
+    std::uint64_t sim_tasks_live = 0;    ///< leaves + root; 0 once drained
+    std::uint64_t nacks = 0;             ///< per-tenant admission rejections
     Tick io_busy = 0;
-    Tick arbiter_busy = 0;
+    Tick arbiter_busy = 0;               ///< summed over leaves (+ root)
     std::vector<Tick> tg_busy;           ///< per-task-graph busy time
     std::vector<std::uint64_t> tg_args;  ///< per-task-graph args processed
   };
@@ -69,6 +71,10 @@ class NexusSharp final : public TaskManagerModel, public Component {
   [[nodiscard]] const NexusSharpConfig& config() const { return cfg_; }
   /// The on-manager interconnect (placement in NexusSharpConfig::noc docs).
   [[nodiscard]] const noc::Network& network() const { return *net_; }
+  /// The Task Pool (per-tenant occupancy via its TenantLedger).
+  [[nodiscard]] const hw::TaskPool& pool() const { return pool_; }
+  /// true when the arbiter hierarchy is sharded (arbiter_clusters >= 2).
+  [[nodiscard]] bool clustered() const { return root_ != nullptr; }
 
  private:
   enum Op : std::uint32_t {
@@ -76,6 +82,11 @@ class NexusSharp final : public TaskManagerModel, public Component {
   };
 
   [[nodiscard]] Tick cycles(std::int64_t n) const { return clk_.cycles(n); }
+  [[nodiscard]] std::uint32_t cluster_of(std::uint32_t tg) const {
+    return tg / tgs_per_cluster_;
+  }
+  /// Per-tenant quota check at the IO tile; 0 = admit, else the NACK path.
+  [[nodiscard]] bool over_quota(std::uint16_t tenant) const;
 
   NexusSharpConfig cfg_;
   ClockDomain clk_;
@@ -86,15 +97,25 @@ class NexusSharp final : public TaskManagerModel, public Component {
   hw::TaskPool pool_;
   hw::Distributor distributor_;
   std::unique_ptr<noc::Network> net_;  ///< created before arbiter/TGUs
-  std::unique_ptr<detail::SharpArbiter> arbiter_;
+  /// Flat mode: one arbiter at the legacy tile. Clustered: one leaf per
+  /// cluster, plus the root that merges their reports.
+  std::vector<std::unique_ptr<detail::SharpArbiter>> arbiters_;
+  std::unique_ptr<detail::RootArbiter> root_;
+  std::vector<std::unique_ptr<detail::ClusterRelay>> relays_;
   std::vector<std::unique_ptr<detail::TaskGraphUnit>> tgs_;
+  std::uint32_t tgs_per_cluster_ = 0;  ///< num_task_graphs when flat
 
   bool master_blocked_ = false;
   std::uint64_t tasks_in_ = 0;
+  std::uint64_t nacks_ = 0;
   telemetry::TraceRecorder* trace_ = nullptr;
+  std::vector<std::uint32_t> cluster_params_;  ///< scratch: params per cluster
 
   telemetry::Counter* m_tasks_in_ = nullptr;
   telemetry::Counter* m_finishes_ = nullptr;
+  telemetry::Counter* m_nacks_ = nullptr;      ///< quota rejections (tenancy)
+  telemetry::Counter* m_hw_blocks_ = nullptr;  ///< high-water submit blocks
+  std::vector<telemetry::Counter*> m_tenant_nacks_;
   std::vector<telemetry::Counter*> m_route_;  ///< params routed per graph
 };
 

@@ -8,10 +8,14 @@
 namespace nexus::detail {
 
 TaskGraphUnit::TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
-                             SharpArbiter* arbiter, noc::Network* net)
+                             SharpArbiter* arbiter, noc::Network* net,
+                             std::int64_t arb_node)
     : cfg_(cfg), index_(index), arbiter_(arbiter), net_(net),
+      arb_node_(arb_node < 0 ? sharp_arbiter_node(cfg.num_task_graphs)
+                             : static_cast<noc::NodeId>(arb_node)),
       clk_(cfg.freq_mhz), table_(cfg.table) {
   NEXUS_ASSERT(arbiter != nullptr && net != nullptr);
+  if (cfg.tenancy.enabled()) table_.configure_tenancy(cfg.tenancy.tenants);
 }
 
 void TaskGraphUnit::attach(Simulation& sim) { self_ = sim.add_component(this); }
@@ -33,7 +37,8 @@ void TaskGraphUnit::bind_trace(telemetry::TraceRecorder* trace) {
 std::uint64_t TaskGraphUnit::pack(const Arg& a) {
   return static_cast<std::uint64_t>(a.task) |
          (static_cast<std::uint64_t>(a.is_writer) << 32) |
-         (static_cast<std::uint64_t>(a.single_param) << 33);
+         (static_cast<std::uint64_t>(a.single_param) << 33) |
+         (static_cast<std::uint64_t>(a.tenant) << 34);
 }
 
 TaskGraphUnit::Arg TaskGraphUnit::unpack(std::uint64_t meta, Addr addr) {
@@ -41,6 +46,7 @@ TaskGraphUnit::Arg TaskGraphUnit::unpack(std::uint64_t meta, Addr addr) {
   a.task = static_cast<TaskId>(meta & 0xFFFFFFFF);
   a.is_writer = (meta >> 32) & 1;
   a.single_param = (meta >> 33) & 1;
+  a.tenant = static_cast<std::uint16_t>((meta >> 34) & 0xFFFF);
   a.addr = addr;
   return a;
 }
@@ -120,8 +126,7 @@ Tick TaskGraphUnit::serve_finished(Simulation& sim, const Arg& a) {
     for (const auto& w : kicked_scratch_) trace_->on_dep(a.task, w.task, done);
   }
   for (const auto& w : kicked_scratch_) {
-    net_->send(sim, done, sharp_tg_node(index_),
-               sharp_arbiter_node(cfg_.num_task_graphs),
+    net_->send(sim, done, sharp_tg_node(index_), arb_node_,
                arbiter_->component_id(), SharpArbiter::kWait, w.task);
   }
   if (res.entry_freed && stalled_) stalled_ = false;
@@ -131,7 +136,7 @@ Tick TaskGraphUnit::serve_finished(Simulation& sim, const Arg& a) {
 bool TaskGraphUnit::serve_new(Simulation& sim, Tick* cost) {
   NEXUS_ASSERT(!new_q_.empty());
   const Arg a = new_q_.front();
-  const auto res = table_.insert(a.addr, a.task, a.is_writer);
+  const auto res = table_.insert(a.addr, a.task, a.is_writer, a.tenant);
   if (res.kind == hw::TaskGraphTable::InsertKind::kNoSpace) {
     // "The task graph must then wait until one task finishes, which its
     // parameters share the same line" (Section IV-D).
@@ -150,8 +155,7 @@ bool TaskGraphUnit::serve_new(Simulation& sim, Tick* cost) {
   if (runs_now && a.single_param) {
     // Immediately-ready single-parameter task: skip the gather step via the
     // Ready Tasks buffer (Section IV-C's short-circuit).
-    net_->send(sim, done, sharp_tg_node(index_),
-               sharp_arbiter_node(cfg_.num_task_graphs),
+    net_->send(sim, done, sharp_tg_node(index_), arb_node_,
                arbiter_->component_id(), SharpArbiter::kReady, a.task);
   } else {
     // Dep. Counts buffer record: task id + whether this parameter blocks;
@@ -159,8 +163,7 @@ bool TaskGraphUnit::serve_new(Simulation& sim, Tick* cost) {
     const std::uint64_t rec =
         static_cast<std::uint64_t>(a.task) |
         (static_cast<std::uint64_t>(runs_now ? 0 : 1) << 32);
-    net_->send(sim, done, sharp_tg_node(index_),
-               sharp_arbiter_node(cfg_.num_task_graphs),
+    net_->send(sim, done, sharp_tg_node(index_), arb_node_,
                arbiter_->component_id(), SharpArbiter::kDep, rec, index_);
   }
   return true;

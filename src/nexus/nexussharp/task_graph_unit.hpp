@@ -25,8 +25,12 @@ namespace nexus::detail {
 
 class TaskGraphUnit final : public Component {
  public:
+  /// `arb_node` places the unit's result-record destination on the NoC;
+  /// the default (-1) is the flat single-arbiter tile. Clustered mode
+  /// points it at the cluster's leaf-arbiter tile instead.
   TaskGraphUnit(const NexusSharpConfig& cfg, std::uint32_t index,
-                SharpArbiter* arbiter, noc::Network* net);
+                SharpArbiter* arbiter, noc::Network* net,
+                std::int64_t arb_node = -1);
 
   void attach(Simulation& sim);
 
@@ -39,6 +43,7 @@ class TaskGraphUnit final : public Component {
     Addr addr = 0;
     bool is_writer = false;
     bool single_param = false;  ///< task has exactly one parameter
+    std::uint16_t tenant = 0;   ///< attributes table slots (tenancy quotas)
   };
 
   enum Op : std::uint32_t {
@@ -81,7 +86,8 @@ class TaskGraphUnit final : public Component {
   const NexusSharpConfig& cfg_;
   std::uint32_t index_;
   SharpArbiter* arbiter_;
-  noc::Network* net_;  ///< result records travel tg-node -> arbiter-node
+  noc::Network* net_;  ///< result records travel tg-node -> arb_node_
+  noc::NodeId arb_node_ = 0;
   ClockDomain clk_;
   std::uint32_t self_ = 0;
 

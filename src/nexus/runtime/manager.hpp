@@ -25,6 +25,15 @@ namespace nexus {
 /// which the driver retries the same submission.
 constexpr Tick kSubmitBlocked = -1;
 
+/// Sentinel returned by TaskManagerModel::submit when the submitting
+/// *tenant* is over its admission quota while the shared structures still
+/// have room (multi-tenant managers only). Unlike kSubmitBlocked this is
+/// backpressure on one tenant: a tenancy-aware driver holds only that
+/// tenant's stream and keeps submitting for others. Single-stream drivers
+/// treat it exactly like kSubmitBlocked (any negative return blocks the
+/// master); the manager still calls master_resume when occupancy drops.
+constexpr Tick kSubmitNacked = -2;
+
 /// Callbacks from the manager into the host simulation.
 class RuntimeHost {
  public:

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
 #include <unordered_map>
 
 #include "nexus/runtime/machine.hpp"
+#include "nexus/telemetry/registry.hpp"
 
 namespace nexus {
 namespace {
@@ -21,13 +23,13 @@ class MultiDriver final : public Component, public RuntimeHost {
               const RuntimeConfig& config)
       : traces_(traces), manager_(manager), config_(config),
         workers_(config.workers) {
-    NEXUS_ASSERT_MSG(!traces.empty(), "need at least one application");
     // Densify tasks: app a's task i -> global id base[a] + i, with its
-    // addresses placed into the app's window.
+    // addresses placed into the app's window. Degenerate inputs are
+    // well-defined: an empty trace list or a zero-task application simply
+    // contributes nothing (its completion time is 0).
     std::uint64_t next = 0;
     for (std::size_t a = 0; a < traces_.size(); ++a) {
       const Trace& tr = *traces_[a];
-      NEXUS_ASSERT_MSG(tr.num_tasks() > 0, "empty application trace");
       base_.push_back(static_cast<TaskId>(next));
       next += tr.num_tasks();
       for (TaskId i = 0; i < tr.num_tasks(); ++i) {
@@ -44,6 +46,10 @@ class MultiDriver final : public Component, public RuntimeHost {
         app_of_[base_[a] + i] = static_cast<std::uint32_t>(a);
     apps_.resize(traces_.size());
 
+    // The same observability surface as the single-app driver: the manager
+    // publishes its block metrics/spans into the run's registry/recorder.
+    if (config_.metrics != nullptr) manager_.bind_telemetry(*config_.metrics);
+    if (config_.trace != nullptr) manager_.bind_trace(config_.trace);
     self_ = sim_.add_component(this);
     manager_.attach(sim_, this);
   }
@@ -65,6 +71,29 @@ class MultiDriver final : public Component, public RuntimeHost {
     if (r.makespan > 0) {
       r.utilization = static_cast<double>(workers_.total_busy()) /
                       (static_cast<double>(r.makespan) * workers_.size());
+    }
+    if (config_.metrics != nullptr) {
+      // Per-core busy/idle split mirroring the single-app driver: busy +
+      // idle == makespan for every core, so the report's utilization
+      // reconciles exactly against cores x makespan.
+      telemetry::MetricRegistry& reg = *config_.metrics;
+      reg.gauge("runtime/makespan_ps").set(r.makespan);
+      reg.gauge("runtime/cores").set(workers_.size());
+      reg.gauge("runtime/tasks").set(static_cast<std::int64_t>(r.total_tasks));
+      reg.gauge("runtime/apps").set(static_cast<std::int64_t>(apps_.size()));
+      for (std::uint32_t w = 0; w < workers_.size(); ++w) {
+        const Tick busy = workers_.core_busy(w);
+        const std::string core = "runtime/core" + std::to_string(w);
+        reg.gauge(core + "/busy_ps").set(busy);
+        reg.gauge(core + "/idle_ps").set(r.makespan - busy);
+      }
+      for (std::size_t a = 0; a < apps_.size(); ++a)
+        reg.gauge(telemetry::path_join(
+                      telemetry::indexed_path(
+                          "runtime/app", static_cast<std::uint32_t>(a),
+                          static_cast<std::uint32_t>(apps_.size())),
+                      "completion_ps"))
+            .set(apps_[a].last_completion);
     }
     return r;
   }
@@ -138,7 +167,9 @@ class MultiDriver final : public Component, public RuntimeHost {
         case TraceOp::kSubmit: {
           const TaskDescriptor& task = global_[base_[a] + ev.task];
           const Tick resume = manager_.submit(sim, task);
-          if (resume == kSubmitBlocked) {
+          if (resume < 0) {
+            // kSubmitBlocked or kSubmitNacked: this app's stream holds and
+            // retries on the next master_resume either way.
             app.state = AppState::kBlockedOnPool;
             return;
           }

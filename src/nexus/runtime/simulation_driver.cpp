@@ -64,12 +64,18 @@ Driver::Driver(const Trace& trace, TaskManagerModel& manager,
           &config_.metrics->histogram("runtime/admission_wait_ps");
       // Per-client latency histograms; capped so a million-client schedule
       // cannot explode the snapshot (the aggregate histogram always exists).
+      // Indices are zero-padded to a common width so snapshot order matches
+      // client order past 10 clients (client02 < client10, lexicographically).
       constexpr std::uint32_t kMaxClientHistograms = 64;
       if (!config_.open_loop->client.empty() &&
           config_.open_loop->clients <= kMaxClientHistograms) {
         for (std::uint32_t c = 0; c < config_.open_loop->clients; ++c)
           m_client_sojourn_.push_back(&config_.metrics->histogram(
-              "runtime/client" + std::to_string(c) + "/sojourn_ps"));
+              telemetry::path_join(
+                  "runtime",
+                  telemetry::indexed_path("client", c,
+                                          config_.open_loop->clients) +
+                      "/sojourn_ps")));
       }
     }
   }
@@ -192,7 +198,9 @@ void Driver::master_step(Simulation& sim) {
           telemetry::inc(m_offered_);
         }
         const Tick resume = manager_.submit(sim, task);
-        if (resume == kSubmitBlocked) {
+        if (resume < 0) {
+          // kSubmitBlocked or kSubmitNacked: this driver feeds one stream,
+          // so a per-tenant NACK degrades to a plain block-and-retry.
           master_ = MasterState::kBlockedOnPool;
           return;  // manager will call master_resume
         }

@@ -49,6 +49,10 @@ using ParamList = InlineVec<Param, kMaxParams>;
 struct TaskDescriptor {
   TaskId id = kInvalidTask;
   std::uint32_t fn = 0;       ///< function-pointer identifier
+  /// Submitting tenant (multi-tenant co-management; see hw/tenancy.hpp).
+  /// 0 for single-tenant runs — the managers only consult it when a
+  /// TenancyConfig is enabled, so legacy traces stay bit-identical.
+  std::uint16_t tenant = 0;
   Tick duration = 0;          ///< execution time on a worker core
   ParamList params;
 

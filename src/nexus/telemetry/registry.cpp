@@ -24,6 +24,20 @@ std::string path_join(std::string_view prefix, std::string_view name) {
   return out;
 }
 
+std::string indexed_path(std::string_view stem, std::uint32_t index,
+                         std::uint32_t count) {
+  NEXUS_ASSERT_MSG(count == 0 || index < count,
+                   "indexed_path index out of range");
+  std::uint32_t width = 1;
+  for (std::uint32_t max = count > 0 ? count - 1 : 0; max >= 10; max /= 10)
+    ++width;
+  const std::string digits = std::to_string(index);
+  std::string out(stem);
+  if (digits.size() < width) out.append(width - digits.size(), '0');
+  out.append(digits);
+  return out;
+}
+
 MetricRegistry::Slot& MetricRegistry::slot_for(std::string_view path,
                                                MetricKind kind) {
   NEXUS_ASSERT_MSG(!path.empty(), "metric path must be non-empty");

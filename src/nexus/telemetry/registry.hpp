@@ -62,4 +62,13 @@ class MetricRegistry {
 /// Join two path segments with '/' (either side may be empty).
 std::string path_join(std::string_view prefix, std::string_view name);
 
+/// Format an indexed path segment ("client07", "tenant00") with the index
+/// zero-padded to the width of `count - 1`. Lexicographic path order (the
+/// registry map, the snapshot, the JSON report) then equals numeric index
+/// order for any family of up to `count` siblings — without padding,
+/// "client10" sorts before "client2" and per-index series shift position in
+/// snapshot diffs whenever the family size crosses a power of ten.
+std::string indexed_path(std::string_view stem, std::uint32_t index,
+                         std::uint32_t count);
+
 }  // namespace nexus::telemetry

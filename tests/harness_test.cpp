@@ -156,6 +156,8 @@ TEST(Serving, FindKneeBracketsTheSaturationRate) {
   const KneeResult r =
       find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
   ASSERT_TRUE(r.bracketed);
+  EXPECT_EQ(r.outcome, KneeOutcome::kBracketed);
+  EXPECT_STREQ(to_string(r.outcome), "bracketed");
   ASSERT_GT(r.knee_hz, 0.0);
   EXPECT_GE(r.knee_hz, search.lo_hz);
   EXPECT_GT(r.probes, 2u);
@@ -191,8 +193,43 @@ TEST(Serving, UnattainableBudgetReportsUnbracketed) {
   const KneeResult r =
       find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
   EXPECT_FALSE(r.bracketed);
+  EXPECT_EQ(r.outcome, KneeOutcome::kUnattainable);
   EXPECT_EQ(r.knee_hz, 0.0);
   EXPECT_EQ(r.probes, 1u);
+  // The violating lo_hz point is kept for diagnosis: how far off was the
+  // budget at the lightest load probed.
+  EXPECT_EQ(r.knee.rate_hz, search.lo_hz);
+  EXPECT_GT(r.knee.p99_ps, static_cast<double>(search.p99_budget_ps));
+}
+
+TEST(Serving, GenerousBudgetReportsLowerBoundNotKnee) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  KneeSearch search;
+  // A budget nothing can violate within two doublings: the search must say
+  // "lower bound", not claim a bracketed knee.
+  search.p99_budget_ps = static_cast<Tick>(ms(8.0)) * 1000000;
+  search.lo_hz = 1000.0;
+  search.max_doublings = 2;
+  const KneeResult r =
+      find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  EXPECT_FALSE(r.bracketed);
+  EXPECT_EQ(r.outcome, KneeOutcome::kLowerBound);
+  EXPECT_STREQ(to_string(r.outcome), "lower-bound");
+  // Every probed rate passed; the best one is lo * 2^max_doublings.
+  EXPECT_DOUBLE_EQ(r.knee_hz, 4000.0);
+  EXPECT_EQ(r.probes, 3u);
+}
+
+TEST(Serving, CallerBracketTopStillPassingIsLowerBound) {
+  const workloads::ArrivalConfig cfg = serving_config();
+  KneeSearch search;
+  search.p99_budget_ps = static_cast<Tick>(ms(8.0)) * 1000000;
+  search.lo_hz = 1000.0;
+  search.hi_hz = 2000.0;  // caller's bracket top — also passes
+  const KneeResult r =
+      find_knee(cfg, search, ManagerSpec::nexussharp(4), 16);
+  EXPECT_EQ(r.outcome, KneeOutcome::kLowerBound);
+  EXPECT_DOUBLE_EQ(r.knee_hz, 2000.0);
 }
 
 }  // namespace

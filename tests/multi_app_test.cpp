@@ -8,6 +8,7 @@
 #include "nexus/nexussharp/nexussharp.hpp"
 #include "nexus/runtime/ideal_manager.hpp"
 #include "nexus/runtime/multi_app.hpp"
+#include "nexus/telemetry/registry.hpp"
 #include "nexus/workloads/workloads.hpp"
 
 namespace nexus {
@@ -145,6 +146,65 @@ TEST(MultiApp, PoolContentionStillDrains) {
   const MultiAppResult r = run_multi_app({&a, &b}, mgr, RuntimeConfig{.workers = 4});
   EXPECT_EQ(r.total_tasks, 60u);
   EXPECT_GT(r.makespan, 0);
+}
+
+TEST(MultiApp, EmptyTraceListIsWellDefined) {
+  IdealManager mgr;
+  const MultiAppResult r = run_multi_app({}, mgr, RuntimeConfig{.workers = 4});
+  EXPECT_EQ(r.total_tasks, 0u);
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_TRUE(r.app_completion.empty());
+}
+
+TEST(MultiApp, ZeroTaskAppContributesNothing) {
+  // An app whose trace has no tasks (only a barrier) completes at 0 and
+  // must not wedge the other app.
+  Trace empty("empty");
+  empty.taskwait();
+  const Trace b = independent_trace(6, us(10));
+  IdealManager mgr;
+  const MultiAppResult r =
+      run_multi_app({&empty, &b}, mgr, RuntimeConfig{.workers = 2});
+  EXPECT_EQ(r.total_tasks, 6u);
+  ASSERT_EQ(r.app_completion.size(), 2u);
+  EXPECT_EQ(r.app_completion[0], 0);
+  EXPECT_GT(r.app_completion[1], 0);
+}
+
+TEST(MultiApp, EndGaugesReconcileWithUtilization) {
+  // The metrics binding added for parity with the single-app driver: per
+  // core, busy + idle == makespan, and the busy sum reproduces the
+  // report's utilization exactly.
+  const Trace a = workloads::make_gaussian({.n = 60});
+  const Trace b = independent_trace(20, us(5));
+  IdealManager mgr;
+  telemetry::MetricRegistry reg;
+  RuntimeConfig rc;
+  rc.workers = 4;
+  rc.metrics = &reg;
+  const MultiAppResult r = run_multi_app({&a, &b}, mgr, rc);
+  const telemetry::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("runtime/makespan_ps")->gauge, r.makespan);
+  EXPECT_EQ(snap.find("runtime/apps")->gauge, 2);
+  std::int64_t busy_sum = 0;
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    const std::string core = "runtime/core" + std::to_string(w);
+    const auto* busy = snap.find(core + "/busy_ps");
+    const auto* idle = snap.find(core + "/idle_ps");
+    ASSERT_NE(busy, nullptr);
+    ASSERT_NE(idle, nullptr);
+    EXPECT_EQ(busy->gauge + idle->gauge, r.makespan);
+    busy_sum += busy->gauge;
+  }
+  EXPECT_NEAR(r.utilization,
+              static_cast<double>(busy_sum) /
+                  (static_cast<double>(r.makespan) * 4.0),
+              1e-12);
+  // Per-app completion gauges exist (single-digit family: no padding).
+  EXPECT_EQ(snap.find("runtime/app0/completion_ps")->gauge,
+            r.app_completion[0]);
+  EXPECT_EQ(snap.find("runtime/app1/completion_ps")->gauge,
+            r.app_completion[1]);
 }
 
 TEST(MultiApp, Deterministic) {
